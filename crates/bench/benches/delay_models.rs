@@ -1,0 +1,33 @@
+//! Sampling throughput of every delay family (the per-message hot path of
+//! the whole simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+
+use abe_core::delay::standard_families;
+use abe_sim::Xoshiro256PlusPlus;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay-sampling");
+    group.throughput(Throughput::Elements(10_000));
+    for (label, model) in standard_families(2.0) {
+        group.bench_with_input(BenchmarkId::new("sample-10k", label), &model, |b, model| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..10_000 {
+                    acc += model.sample(&mut rng).as_secs();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Kernel micro-benchmarks: event queue throughput and end-to-end
+//! simulation dispatch rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use abe_sim::{EventQueue, RunLimits, SimDuration, SimTime, Simulation, StepCtx, World};
+
+/// Schedule/pop churn through the priority queue.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event-queue");
+    for &size in &[1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(size));
+        group.bench_with_input(BenchmarkId::new("schedule+pop", size), &size, |b, &size| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..size {
+                    // Pseudo-random-ish times without an RNG in the hot loop.
+                    let t = ((i.wrapping_mul(2_654_435_761)) % 1_000_000) as f64 * 1e-3;
+                    q.schedule(SimTime::from_secs(t), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum = sum.wrapping_add(v);
+                }
+                sum
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A self-rescheduling world measuring raw dispatch throughput.
+#[derive(Debug)]
+struct Chain {
+    remaining: u64,
+}
+
+impl World for Chain {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut StepCtx<'_, ()>, _event: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(SimDuration::from_secs(0.001), ());
+        }
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    for &events in &[10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("dispatch", events), &events, |b, &events| {
+            b.iter(|| {
+                let mut sim = Simulation::new(Chain { remaining: events });
+                sim.prime(SimTime::ZERO, ());
+                sim.run(RunLimits::unbounded());
+                sim.events_processed()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_event_queue, bench_dispatch
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Synchroniser benches: rounds/second for the graph synchroniser (the
+//! Theorem 1 workhorse) and the clock-driven ABD synchroniser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use abe_core::delay::Exponential;
+use abe_core::{NetworkBuilder, Topology};
+use abe_sim::RunLimits;
+use abe_sync::{AbdSynchronizer, Chatter, GraphSynchronizer, Heartbeat};
+
+fn bench_graph_synchronizer(c: &mut Criterion) {
+    let rounds = 50u64;
+    let mut group = c.benchmark_group("graph-synchronizer");
+    for &n in &[16u32, 64, 256] {
+        group.throughput(Throughput::Elements(rounds * u64::from(n)));
+        group.bench_with_input(BenchmarkId::new("heartbeat-50r", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+                    .delay(Exponential::from_mean(1.0).unwrap())
+                    .seed(seed)
+                    .build(|_| GraphSynchronizer::new(Heartbeat::new(), rounds))
+                    .unwrap();
+                let (report, _) = net.run(RunLimits::unbounded());
+                report.messages_sent
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_abd_synchronizer(c: &mut Criterion) {
+    let rounds = 50u64;
+    let mut group = c.benchmark_group("abd-synchronizer");
+    for &n in &[16u32, 64] {
+        group.throughput(Throughput::Elements(rounds * u64::from(n)));
+        group.bench_with_input(BenchmarkId::new("chatter-50r", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+                    .delay(Exponential::from_mean(1.0).unwrap())
+                    .tick_interval(4.0)
+                    .seed(seed)
+                    .build(|_| AbdSynchronizer::new(Chatter, rounds))
+                    .unwrap();
+                let (report, _) = net.run(RunLimits::unbounded());
+                report.messages_sent
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_graph_synchronizer, bench_abd_synchronizer
+);
+criterion_main!(benches);

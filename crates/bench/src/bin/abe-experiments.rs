@@ -1,0 +1,126 @@
+//! Command-line harness regenerating every experiment in `EXPERIMENTS.md`.
+//!
+//! ```text
+//! abe-experiments                 # run everything at quick scale
+//! abe-experiments --full          # paper-scale sweeps
+//! abe-experiments e1 e4 e6        # a subset
+//! abe-experiments --list          # show the registry
+//! abe-experiments --out FILE      # additionally write markdown to FILE
+//! abe-experiments --csv DIR       # additionally write one CSV per experiment
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use abe_bench::{registry, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut selected: Vec<String> = Vec::new();
+    let mut out_file: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut list_only = false;
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--list" => list_only = true,
+            "--out" => match iter.next() {
+                Some(path) => out_file = Some(path),
+                None => {
+                    eprintln!("--out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--csv" => match iter.next() {
+                Some(dir) => csv_dir = Some(dir),
+                None => {
+                    eprintln!("--csv requires a directory path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            id if id.starts_with('-') => {
+                eprintln!("unknown flag: {id} (try --help)");
+                return ExitCode::FAILURE;
+            }
+            id => selected.push(id.to_ascii_lowercase()),
+        }
+    }
+
+    let experiments = registry();
+    if list_only {
+        for e in &experiments {
+            println!("{:>4}  {}", e.id, e.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for id in &selected {
+        if !experiments.iter().any(|e| e.id == id) {
+            eprintln!("unknown experiment id: {id} (try --list)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let to_run: Vec<_> = experiments
+        .iter()
+        .filter(|e| selected.is_empty() || selected.iter().any(|s| s == e.id))
+        .collect();
+
+    let mut rendered = String::new();
+    for e in to_run {
+        let started = Instant::now();
+        eprintln!("running {} ({}) ...", e.id, e.about);
+        let report = (e.run)(scale);
+        eprintln!("  done in {:.1?}", started.elapsed());
+        let section = report.to_string();
+        println!("{section}");
+        rendered.push_str(&section);
+        rendered.push('\n');
+        if let Some(dir) = &csv_dir {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                eprintln!("failed to create {dir}: {err}");
+                return ExitCode::FAILURE;
+            }
+            let path = format!("{dir}/{}.csv", e.id);
+            match std::fs::File::create(&path)
+                .and_then(|mut f| f.write_all(report.table.to_csv().as_bytes()))
+            {
+                Ok(()) => eprintln!("  wrote {path}"),
+                Err(err) => {
+                    eprintln!("failed to write {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if let Some(path) = out_file {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(rendered.as_bytes())) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(err) => {
+                eprintln!("failed to write {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    println!(
+        "abe-experiments — regenerate the ABE-networks evaluation\n\n\
+         USAGE:\n  abe-experiments [--full|--quick] [--list] [--out FILE] [--csv DIR] [IDS...]\n\n\
+         IDS: e1 .. e12 (default: all). See DESIGN.md section 5 for the\n\
+         experiment-to-paper-claim mapping."
+    );
+}

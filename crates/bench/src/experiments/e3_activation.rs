@@ -1,0 +1,120 @@
+//! E3 — the activation parameter: sweep and calibration finding.
+//!
+//! Paper: "The algorithm is parameterised by a base activation parameter
+//! A0 ∈ (0, 1)" (§3), and "the overall wake-up probability for all nodes
+//! stays constant over time. This ensures that the algorithm has linear
+//! time and message complexity."
+//!
+//! Two parts:
+//!
+//! 1. **Budget sweep** — with the calibration `A0 = a/n²`, sweep the
+//!    per-traversal activation budget `a`: larger `a` trades messages
+//!    (more collisions/purges) against time (less waiting).
+//! 2. **Calibration finding** — run the *literal* constant `A0` from the
+//!    brief announcement next to the calibrated choice: a constant `A0`
+//!    measures `Θ(n²)` messages because `Θ(A0·n²)` wake-ups happen per
+//!    ring traversal. The two-page announcement leaves this scaling
+//!    implicit; the reproduction makes it explicit.
+
+use abe_election::{run_abe, run_abe_calibrated};
+use abe_stats::{fmt_num, Table};
+
+use crate::{ExperimentReport, Scale};
+
+use super::{aggregate, ring};
+
+use super::e1_messages::DELTA;
+
+/// Runs E3.
+pub fn run(scale: Scale) -> ExperimentReport {
+    let reps = scale.pick(30, 150);
+    let budgets: &[f64] = &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let ns: &[u32] = scale.pick(&[64u32, 128][..], &[64, 256][..]);
+
+    let mut table = Table::new(&[
+        "config",
+        "n",
+        "msgs/n",
+        "time/(n·δ)",
+        "purges (mean)",
+        "activations (mean)",
+    ]);
+
+    // Part 1: calibrated budget sweep.
+    for &n in ns {
+        for &a in budgets {
+            let mut purges = abe_stats::Online::new();
+            let mut activations = abe_stats::Online::new();
+            let (messages, time, leaders) = aggregate(reps, |seed| {
+                let o = run_abe_calibrated(&ring(n, DELTA, seed), a);
+                purges.push(o.report.counter("purges") as f64);
+                activations.push(o.report.counter("activations") as f64);
+                o
+            });
+            assert_eq!(leaders.mean(), 1.0);
+            table.row(&[
+                format!("A0 = {a}/n²"),
+                n.to_string(),
+                fmt_num(messages.mean() / n as f64),
+                fmt_num(time.mean() / (n as f64 * DELTA)),
+                fmt_num(purges.mean()),
+                fmt_num(activations.mean()),
+            ]);
+        }
+    }
+
+    // Part 2: the literal constant A0 of the brief announcement.
+    let mut constant_ratio = Vec::new();
+    for &n in scale.pick(&[16u32, 64][..], &[16, 64, 256][..]) {
+        for &a0 in &[0.1, 0.3] {
+            let (messages, time, leaders) = aggregate(reps.min(30), |seed| {
+                run_abe(&ring(n, DELTA, seed), a0)
+            });
+            assert_eq!(leaders.mean(), 1.0);
+            constant_ratio.push((n, a0, messages.mean() / n as f64));
+            table.row(&[
+                format!("A0 = {a0} (const)"),
+                n.to_string(),
+                fmt_num(messages.mean() / n as f64),
+                fmt_num(time.mean() / (n as f64 * DELTA)),
+                String::new(),
+                String::new(),
+            ]);
+        }
+    }
+
+    let (lo_n, _, lo_ratio) = constant_ratio[0];
+    let (hi_n, _, hi_ratio) = constant_ratio[constant_ratio.len() - 2];
+    let findings = vec![
+        "calibrated (A0 = a/n²): msgs/n and time/(n·δ) stay flat in n; raising a trades fewer \
+         time units for more collision purges"
+            .to_string(),
+        format!(
+            "constant A0 (the literal two-page-announcement reading): msgs/n grows with n \
+             ({lo_ratio:.1} at n={lo_n} → {hi_ratio:.1} at n={hi_n}), i.e. Θ(n²) total — the \
+             announcement's linearity claim requires the A0 ~ 1/n² calibration, which its full \
+             version's analysis implies but the BA text leaves implicit"
+        ),
+    ];
+
+    ExperimentReport {
+        id: "E3",
+        title: "Activation parameter sweep and calibration finding",
+        claim: "\"parameterised by a base activation parameter A0 ∈ (0,1) ... the overall wake-up probability for all nodes stays constant over time\" (§3)",
+        table,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_parts() {
+        let report = run(Scale::Quick);
+        // 2 sizes × 6 budgets + 2 sizes × 2 constant-A0 rows.
+        assert_eq!(report.table.row_count(), 16);
+        assert_eq!(report.findings.len(), 2);
+    }
+}

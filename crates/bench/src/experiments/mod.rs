@@ -1,0 +1,46 @@
+//! The experiment implementations (one module per `EXPERIMENTS.md` entry).
+
+pub mod e1_messages;
+pub mod e2_time;
+pub mod e3_activation;
+pub mod e4_baselines;
+pub mod e5_retransmission;
+pub mod e6_theorem1;
+pub mod e7_abd_violations;
+pub mod e8_adaptive_ablation;
+pub mod e9_delay_robustness;
+pub mod e10_clock_drift;
+pub mod e11_sync_overhead;
+pub mod e12_vs_synchronous;
+pub mod e13_known_n;
+
+use abe_election::{ElectionOutcome, RingConfig};
+use abe_stats::Online;
+
+/// Aggregates one election metric over `reps` seeded repetitions.
+pub(crate) fn aggregate(
+    reps: u64,
+    mut run: impl FnMut(u64) -> ElectionOutcome,
+) -> (Online, Online, Online) {
+    let mut messages = Online::new();
+    let mut time = Online::new();
+    let mut leaders = Online::new();
+    for seed in 0..reps {
+        let o = run(seed);
+        assert!(o.terminated, "run did not terminate within budget");
+        messages.push(o.messages as f64);
+        time.push(o.time);
+        leaders.push(o.leaders as f64);
+    }
+    (messages, time, leaders)
+}
+
+/// Standard ring configuration used across election experiments:
+/// exponential delay with mean `delta`.
+pub(crate) fn ring(n: u32, delta: f64, seed: u64) -> RingConfig {
+    RingConfig::new(n)
+        .delay(std::sync::Arc::new(
+            abe_core::delay::Exponential::from_mean(delta).expect("valid delta"),
+        ))
+        .seed(seed)
+}

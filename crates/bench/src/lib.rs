@@ -1,0 +1,205 @@
+//! # abe-bench — the evaluation harness
+//!
+//! Regenerates every experiment in `EXPERIMENTS.md`. The brief announcement
+//! contains no numbered tables or figures (it is a two-page model paper),
+//! so each experiment below is pinned to a **sentence** of the paper; the
+//! mapping lives in `DESIGN.md` §5.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p abe-bench --bin abe-experiments --release
+//! cargo run -p abe-bench --bin abe-experiments --release -- --full   # larger sweeps
+//! cargo run -p abe-bench --bin abe-experiments --release -- e1 e4    # a subset
+//! ```
+//!
+//! Criterion micro-benches (kernel throughput, sampling, scaling) live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::fmt;
+
+use abe_stats::Table;
+
+/// How large a sweep to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sweeps, a few seconds total — CI-friendly.
+    Quick,
+    /// Paper-scale sweeps (larger `n`, more repetitions).
+    Full,
+}
+
+impl Scale {
+    /// Picks `quick` or `full` depending on the scale.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The output of one experiment: a rendered table plus prose findings.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Identifier, e.g. `"E1"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The paper sentence this experiment tests.
+    pub claim: &'static str,
+    /// The regenerated table.
+    pub table: Table,
+    /// Conclusions (fits, pass/fail observations).
+    pub findings: Vec<String>,
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        writeln!(f)?;
+        writeln!(f, "*Paper claim:* {}", self.claim)?;
+        writeln!(f)?;
+        write!(f, "{}", self.table)?;
+        writeln!(f)?;
+        for finding in &self.findings {
+            writeln!(f, "- {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A runnable experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Identifier, e.g. `"e1"` (lowercase, used on the CLI).
+    pub id: &'static str,
+    /// One-line description for `--list`.
+    pub about: &'static str,
+    /// Entry point.
+    pub run: fn(Scale) -> ExperimentReport,
+}
+
+impl fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Experiment")
+            .field("id", &self.id)
+            .field("about", &self.about)
+            .finish()
+    }
+}
+
+/// The full registry, in presentation order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1",
+            about: "election message complexity vs n (linear)",
+            run: experiments::e1_messages::run,
+        },
+        Experiment {
+            id: "e2",
+            about: "election time complexity vs n (linear)",
+            run: experiments::e2_time::run,
+        },
+        Experiment {
+            id: "e3",
+            about: "activation parameter sweep + calibration finding",
+            run: experiments::e3_activation::run,
+        },
+        Experiment {
+            id: "e4",
+            about: "ABE vs asynchronous baselines (Itai-Rodeh, Chang-Roberts)",
+            run: experiments::e4_baselines::run,
+        },
+        Experiment {
+            id: "e5",
+            about: "retransmission channel: mean transmissions and delay = 1/p",
+            run: experiments::e5_retransmission::run,
+        },
+        Experiment {
+            id: "e6",
+            about: "Theorem 1: >= n messages per synchronised round",
+            run: experiments::e6_theorem1::run,
+        },
+        Experiment {
+            id: "e7",
+            about: "ABD synchroniser violations under unbounded delay",
+            run: experiments::e7_abd_violations::run,
+        },
+        Experiment {
+            id: "e8",
+            about: "adaptive vs fixed activation probability (ablation)",
+            run: experiments::e8_adaptive_ablation::run,
+        },
+        Experiment {
+            id: "e9",
+            about: "delay-distribution robustness at equal expected delay",
+            run: experiments::e9_delay_robustness::run,
+        },
+        Experiment {
+            id: "e10",
+            about: "clock-drift sensitivity (s_high/s_low sweep)",
+            run: experiments::e10_clock_drift::run,
+        },
+        Experiment {
+            id: "e11",
+            about: "synchronous algorithm over synchroniser vs native ABE",
+            run: experiments::e11_sync_overhead::run,
+        },
+        Experiment {
+            id: "e12",
+            about: "ABE election vs native synchronous Itai-Rodeh",
+            run: experiments::e12_vs_synchronous::run,
+        },
+        Experiment {
+            id: "e13",
+            about: "necessity of the known-ring-size assumption",
+            run: experiments::e13_known_n::run,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        let mut sorted = ids.clone();
+        sorted.dedup();
+        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), sorted.len());
+        assert_eq!(ids[0], "e1");
+        assert_eq!(ids[12], "e13");
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn report_renders_markdown() {
+        let mut table = Table::new(&["n", "messages"]);
+        table.row(&["8", "12.5"]);
+        let report = ExperimentReport {
+            id: "E0",
+            title: "smoke",
+            claim: "testing",
+            table,
+            findings: vec!["looks fine".into()],
+        };
+        let s = report.to_string();
+        assert!(s.contains("## E0"));
+        assert!(s.contains("looks fine"));
+        assert!(s.contains("12.5"));
+    }
+}

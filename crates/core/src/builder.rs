@@ -1,0 +1,241 @@
+//! Fluent construction of [`Network`]s.
+//!
+//! The builder owns every knob of the model — topology, delay model(s),
+//! clock population, processing model, FIFO-ness, master seed — and
+//! optionally a declared [`NetworkClass`] that the configuration is
+//! validated against at [`build`](NetworkBuilder::build) time, so an
+//! experiment cannot silently hand an ABE algorithm a network stronger or
+//! weaker than claimed.
+
+use std::fmt;
+use std::sync::Arc;
+
+use abe_sim::SeedStream;
+
+use crate::class::NetworkClass;
+use crate::clock::ClockSpec;
+use crate::delay::{DelayModel, Deterministic, Exponential, SharedDelay};
+use crate::error::BuildError;
+use crate::net::Network;
+use crate::protocol::Protocol;
+use crate::topology::Topology;
+
+/// Builder for [`Network`].
+///
+/// # Examples
+///
+/// ```
+/// use abe_core::{Ctx, InPort, NetworkBuilder, OutPort, Protocol, Topology};
+/// use abe_core::delay::Exponential;
+/// use abe_sim::RunLimits;
+///
+/// #[derive(Debug)]
+/// struct Echo;
+/// impl Protocol for Echo {
+///     type Message = u32;
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+///         ctx.send(OutPort(0), 1);
+///     }
+///     fn on_message(&mut self, _from: InPort, msg: u32, ctx: &mut Ctx<'_, u32>) {
+///         if msg < 5 {
+///             ctx.send(OutPort(0), msg + 1);
+///         }
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = NetworkBuilder::new(Topology::unidirectional_ring(3)?)
+///     .delay(Exponential::from_mean(1.0)?)
+///     .seed(7)
+///     .build(|_| Echo)?;
+/// let (report, _net) = net.run(RunLimits::unbounded());
+/// assert!(report.outcome.is_quiescent());
+/// assert_eq!(report.messages_sent, report.messages_delivered);
+/// # Ok(())
+/// # }
+/// ```
+pub struct NetworkBuilder {
+    topo: Topology,
+    delay: SharedDelay,
+    edge_delays: Option<Vec<SharedDelay>>,
+    clocks: ClockSpec,
+    processing: SharedDelay,
+    fifo: bool,
+    seed: u64,
+    tick_interval: f64,
+    class: Option<NetworkClass>,
+    trace_capacity: usize,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for the given topology with defaults:
+    /// exponential delay of mean 1, perfect clocks, zero processing time,
+    /// non-FIFO channels, seed 0, tick interval 1 local unit.
+    pub fn new(topo: Topology) -> Self {
+        Self {
+            topo,
+            delay: Arc::new(Exponential::from_mean(1.0).expect("1.0 is a valid mean")),
+            edge_delays: None,
+            clocks: ClockSpec::perfect(),
+            processing: Arc::new(Deterministic::zero()),
+            fifo: false,
+            seed: 0,
+            tick_interval: 1.0,
+            class: None,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Sets the delay model used by every edge.
+    pub fn delay(mut self, model: impl DelayModel + 'static) -> Self {
+        self.delay = Arc::new(model);
+        self
+    }
+
+    /// Sets a shared delay model used by every edge.
+    pub fn delay_shared(mut self, model: SharedDelay) -> Self {
+        self.delay = model;
+        self
+    }
+
+    /// Sets per-edge delay models (heterogeneous links).
+    ///
+    /// The list must have exactly one entry per topology edge, in edge-id
+    /// order; validated at build time.
+    pub fn edge_delays(mut self, models: Vec<SharedDelay>) -> Self {
+        self.edge_delays = Some(models);
+        self
+    }
+
+    /// Sets the clock population specification.
+    pub fn clocks(mut self, spec: ClockSpec) -> Self {
+        self.clocks = spec;
+        self
+    }
+
+    /// Sets the local-event processing model (the `γ` of Definition 1).
+    pub fn processing(mut self, model: impl DelayModel + 'static) -> Self {
+        self.processing = Arc::new(model);
+        self
+    }
+
+    /// Enables FIFO delivery per edge (default: non-FIFO, as the paper's
+    /// election algorithm permits arbitrary reordering).
+    pub fn fifo(mut self, fifo: bool) -> Self {
+        self.fifo = fifo;
+        self
+    }
+
+    /// Sets the master seed; all node/channel/clock streams derive from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the local-clock interval between ticks (in local seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not finite and positive.
+    #[track_caller]
+    pub fn tick_interval(mut self, interval: f64) -> Self {
+        assert!(
+            interval.is_finite() && interval > 0.0,
+            "tick interval must be finite and positive, got {interval}"
+        );
+        self.tick_interval = interval;
+        self
+    }
+
+    /// Declares the network class this configuration must satisfy.
+    pub fn class(mut self, class: NetworkClass) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Enables execution tracing, retaining at most `capacity` event
+    /// records (default 0 = disabled). Read back via
+    /// [`Network::trace`](crate::Network::trace).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Builds the network, instantiating one protocol per node via
+    /// `factory(node_index)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a per-edge delay list has the wrong length or
+    /// the declared [`NetworkClass`] is violated by the configuration.
+    pub fn build<P, F>(self, mut factory: F) -> Result<Network<P>, BuildError>
+    where
+        P: Protocol,
+        F: FnMut(usize) -> P,
+    {
+        let edge_count = self.topo.edge_count();
+        let edge_delays: Vec<SharedDelay> = match self.edge_delays {
+            Some(models) => {
+                if models.len() != edge_count {
+                    return Err(BuildError::EdgeDelayCount {
+                        supplied: models.len(),
+                        edges: edge_count,
+                    });
+                }
+                models
+            }
+            None => vec![Arc::clone(&self.delay); edge_count],
+        };
+
+        if let Some(class) = &self.class {
+            for delay in &edge_delays {
+                class.validate(delay.as_ref(), &self.clocks, self.processing.as_ref())?;
+            }
+        }
+
+        let n = self.topo.node_count() as usize;
+        let seeds = SeedStream::new(self.seed);
+        let mut protos = Vec::with_capacity(n);
+        let mut clocks = Vec::with_capacity(n);
+        let mut node_rngs = Vec::with_capacity(n);
+        for i in 0..n {
+            protos.push(factory(i));
+            let mut clock_rng = seeds.stream("clock", i as u64);
+            clocks.push(self.clocks.instantiate(&mut clock_rng));
+            node_rngs.push(seeds.stream("node", i as u64));
+        }
+        let channel_rngs = (0..edge_count)
+            .map(|e| seeds.stream("channel", e as u64))
+            .collect();
+        let proc_rng = seeds.stream("processing", 0);
+
+        Ok(Network::assemble(
+            self.topo,
+            protos,
+            clocks,
+            node_rngs,
+            edge_delays,
+            channel_rngs,
+            self.processing,
+            proc_rng,
+            self.fifo,
+            self.tick_interval,
+            self.trace_capacity,
+        ))
+    }
+}
+
+impl fmt::Debug for NetworkBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetworkBuilder")
+            .field("nodes", &self.topo.node_count())
+            .field("edges", &self.topo.edge_count())
+            .field("delay", &self.delay)
+            .field("clocks", &self.clocks)
+            .field("fifo", &self.fifo)
+            .field("seed", &self.seed)
+            .field("tick_interval", &self.tick_interval)
+            .field("class", &self.class)
+            .finish()
+    }
+}

@@ -1,0 +1,308 @@
+//! Network classes: asynchronous, ABD, and ABE (Definition 1).
+//!
+//! A [`NetworkClass`] is a *contract* between an algorithm and its
+//! environment. Algorithms for ABE networks may rely on knowing `δ`
+//! (expected-delay bound), `[s_low, s_high]` (clock-rate bounds), and `γ`
+//! (expected processing bound); algorithms for ABD networks may rely on a
+//! *hard* delay bound. [`NetworkClass::validate`] checks a concrete
+//! configuration (delay model, clock spec, processing model) against the
+//! declared class, so experiments cannot accidentally hand an algorithm a
+//! network that is stronger than claimed.
+
+use abe_sim::SimDuration;
+
+use crate::clock::ClockSpec;
+use crate::delay::DelayModel;
+use crate::error::{ClassViolation, InvalidParamError};
+
+/// The known bounds of an ABE network (Definition 1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use abe_core::AbeParams;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // δ = 1s expected delay, clocks within [0.5, 2.0], γ = 0.01s processing.
+/// let params = AbeParams::new(1.0, 0.5, 2.0, 0.01)?;
+/// assert_eq!(params.delta().as_secs(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbeParams {
+    delta: SimDuration,
+    s_low: f64,
+    s_high: f64,
+    gamma: SimDuration,
+}
+
+impl AbeParams {
+    /// Creates ABE bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `delta > 0`, `0 < s_low ≤ s_high` (finite),
+    /// and `gamma ≥ 0`.
+    pub fn new(delta: f64, s_low: f64, s_high: f64, gamma: f64) -> Result<Self, InvalidParamError> {
+        if !(delta.is_finite() && delta > 0.0) {
+            return Err(InvalidParamError::new(
+                "delta",
+                "must be finite and positive",
+                delta,
+            ));
+        }
+        if !(s_low.is_finite() && s_low > 0.0) {
+            return Err(InvalidParamError::new(
+                "s_low",
+                "must be finite and positive",
+                s_low,
+            ));
+        }
+        if !(s_high.is_finite() && s_high >= s_low) {
+            return Err(InvalidParamError::new(
+                "s_high",
+                "must be finite and >= s_low",
+                s_high,
+            ));
+        }
+        if !(gamma.is_finite() && gamma >= 0.0) {
+            return Err(InvalidParamError::new(
+                "gamma",
+                "must be finite and non-negative",
+                gamma,
+            ));
+        }
+        Ok(Self {
+            delta: SimDuration::from_secs(delta),
+            s_low,
+            s_high,
+            gamma: SimDuration::from_secs(gamma),
+        })
+    }
+
+    /// Convenient bounds for pure-delay studies: `δ = delta`, perfect
+    /// clocks, instantaneous processing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `delta` is finite and positive.
+    pub fn with_delta(delta: f64) -> Result<Self, InvalidParamError> {
+        Self::new(delta, 1.0, 1.0, 0.0)
+    }
+
+    /// The bound `δ` on the expected message delay.
+    pub fn delta(&self) -> SimDuration {
+        self.delta
+    }
+
+    /// The slowest admissible clock rate `s_low`.
+    pub fn s_low(&self) -> f64 {
+        self.s_low
+    }
+
+    /// The fastest admissible clock rate `s_high`.
+    pub fn s_high(&self) -> f64 {
+        self.s_high
+    }
+
+    /// The bound `γ` on the expected local processing time.
+    pub fn gamma(&self) -> SimDuration {
+        self.gamma
+    }
+}
+
+/// A network model class, ordered from weakest to strongest assumptions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkClass {
+    /// Only eventual delivery is guaranteed; nothing is known.
+    Asynchronous,
+    /// A *hard* bound on every message delay is known (Chou et al. 1990).
+    Abd {
+        /// The hard delay bound.
+        delay_bound: SimDuration,
+    },
+    /// A bound on the *expected* delay is known (this paper).
+    Abe(AbeParams),
+}
+
+impl NetworkClass {
+    /// Checks that a concrete configuration satisfies this class.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ClassViolation`] found:
+    ///
+    /// * `Asynchronous` accepts everything.
+    /// * `Abd` requires the delay support to be bounded by `delay_bound`.
+    /// * `Abe` requires `mean(delay) ≤ δ`, clock rates within
+    ///   `[s_low, s_high]`, and `mean(processing) ≤ γ`.
+    pub fn validate(
+        &self,
+        delay: &dyn DelayModel,
+        clocks: &ClockSpec,
+        processing: &dyn DelayModel,
+    ) -> Result<(), ClassViolation> {
+        match self {
+            NetworkClass::Asynchronous => Ok(()),
+            NetworkClass::Abd { delay_bound } => match delay.upper_bound() {
+                None => Err(ClassViolation::DelayUnbounded),
+                Some(sup) if sup > *delay_bound => Err(ClassViolation::DelayExceedsBound {
+                    sup: sup.as_secs(),
+                    bound: delay_bound.as_secs(),
+                }),
+                Some(_) => Ok(()),
+            },
+            NetworkClass::Abe(params) => {
+                if delay.mean() > params.delta {
+                    return Err(ClassViolation::MeanDelayExceedsDelta {
+                        mean: delay.mean().as_secs(),
+                        delta: params.delta.as_secs(),
+                    });
+                }
+                if clocks.s_low() < params.s_low || clocks.s_high() > params.s_high {
+                    return Err(ClassViolation::ClockRateOutOfBounds {
+                        spec_low: clocks.s_low(),
+                        spec_high: clocks.s_high(),
+                        s_low: params.s_low,
+                        s_high: params.s_high,
+                    });
+                }
+                if processing.mean() > params.gamma {
+                    return Err(ClassViolation::ProcessingExceedsGamma {
+                        mean: processing.mean().as_secs(),
+                        gamma: params.gamma.as_secs(),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::DriftMode;
+    use crate::delay::{Deterministic, Exponential, Uniform};
+
+    fn perfect_clocks() -> ClockSpec {
+        ClockSpec::perfect()
+    }
+
+    fn no_processing() -> Deterministic {
+        Deterministic::zero()
+    }
+
+    #[test]
+    fn abe_params_validation() {
+        assert!(AbeParams::new(1.0, 0.5, 2.0, 0.0).is_ok());
+        assert!(AbeParams::new(0.0, 0.5, 2.0, 0.0).is_err());
+        assert!(AbeParams::new(1.0, 0.0, 2.0, 0.0).is_err());
+        assert!(AbeParams::new(1.0, 2.0, 0.5, 0.0).is_err());
+        assert!(AbeParams::new(1.0, 0.5, 2.0, -1.0).is_err());
+        assert!(AbeParams::new(f64::NAN, 0.5, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn asynchronous_accepts_anything() {
+        let delay = Exponential::from_mean(1e6).unwrap();
+        let clocks = ClockSpec::new(0.001, 1000.0, DriftMode::Wander).unwrap();
+        assert!(NetworkClass::Asynchronous
+            .validate(&delay, &clocks, &no_processing())
+            .is_ok());
+    }
+
+    #[test]
+    fn abd_rejects_unbounded_delay() {
+        let class = NetworkClass::Abd {
+            delay_bound: SimDuration::from_secs(10.0),
+        };
+        let exp = Exponential::from_mean(0.1).unwrap();
+        assert_eq!(
+            class.validate(&exp, &perfect_clocks(), &no_processing()),
+            Err(ClassViolation::DelayUnbounded)
+        );
+    }
+
+    #[test]
+    fn abd_accepts_bounded_delay_within_bound() {
+        let class = NetworkClass::Abd {
+            delay_bound: SimDuration::from_secs(3.0),
+        };
+        let uni = Uniform::new(0.5, 3.0).unwrap();
+        assert!(class
+            .validate(&uni, &perfect_clocks(), &no_processing())
+            .is_ok());
+    }
+
+    #[test]
+    fn abd_rejects_delay_over_bound() {
+        let class = NetworkClass::Abd {
+            delay_bound: SimDuration::from_secs(1.0),
+        };
+        let uni = Uniform::new(0.5, 3.0).unwrap();
+        assert!(matches!(
+            class.validate(&uni, &perfect_clocks(), &no_processing()),
+            Err(ClassViolation::DelayExceedsBound { .. })
+        ));
+    }
+
+    #[test]
+    fn abe_accepts_unbounded_delay_with_bounded_mean() {
+        // The defining property of ABE: exponential delay is fine.
+        let params = AbeParams::with_delta(1.0).unwrap();
+        let exp = Exponential::from_mean(1.0).unwrap();
+        assert!(NetworkClass::Abe(params)
+            .validate(&exp, &perfect_clocks(), &no_processing())
+            .is_ok());
+    }
+
+    #[test]
+    fn abe_rejects_mean_over_delta() {
+        let params = AbeParams::with_delta(1.0).unwrap();
+        let exp = Exponential::from_mean(1.5).unwrap();
+        assert!(matches!(
+            NetworkClass::Abe(params).validate(&exp, &perfect_clocks(), &no_processing()),
+            Err(ClassViolation::MeanDelayExceedsDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn abe_rejects_clock_rates_outside_bounds() {
+        let params = AbeParams::new(1.0, 0.5, 2.0, 0.0).unwrap();
+        let clocks = ClockSpec::new(0.25, 1.0, DriftMode::Fixed).unwrap();
+        let exp = Exponential::from_mean(1.0).unwrap();
+        assert!(matches!(
+            NetworkClass::Abe(params).validate(&exp, &clocks, &no_processing()),
+            Err(ClassViolation::ClockRateOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn abe_rejects_processing_over_gamma() {
+        let params = AbeParams::new(1.0, 1.0, 1.0, 0.001).unwrap();
+        let exp = Exponential::from_mean(1.0).unwrap();
+        let slow_proc = Deterministic::new(0.01).unwrap();
+        assert!(matches!(
+            NetworkClass::Abe(params).validate(&exp, &perfect_clocks(), &slow_proc),
+            Err(ClassViolation::ProcessingExceedsGamma { .. })
+        ));
+    }
+
+    #[test]
+    fn abd_configuration_is_also_valid_abe() {
+        // ABD ⊂ ABE: a deterministic delay d satisfies ABE with δ = d.
+        let det = Deterministic::new(1.0).unwrap();
+        let abd = NetworkClass::Abd {
+            delay_bound: SimDuration::from_secs(1.0),
+        };
+        let abe = NetworkClass::Abe(AbeParams::with_delta(1.0).unwrap());
+        assert!(abd
+            .validate(&det, &perfect_clocks(), &no_processing())
+            .is_ok());
+        assert!(abe
+            .validate(&det, &perfect_clocks(), &no_processing())
+            .is_ok());
+    }
+}

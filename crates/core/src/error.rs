@@ -1,0 +1,255 @@
+//! Error types for model construction and network assembly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a model parameter is outside its valid domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidParamError {
+    /// Which parameter was rejected (e.g. `"success_prob"`).
+    pub param: &'static str,
+    /// Human-readable constraint (e.g. `"must lie in (0, 1]"`).
+    pub constraint: &'static str,
+    /// The offending value rendered as text.
+    pub value: String,
+}
+
+impl InvalidParamError {
+    /// Creates an error for `param` violating `constraint` with `value`.
+    pub fn new(param: &'static str, constraint: &'static str, value: impl fmt::Display) -> Self {
+        Self {
+            param,
+            constraint,
+            value: value.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for InvalidParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid parameter `{}`: {} (got {})",
+            self.param, self.constraint, self.value
+        )
+    }
+}
+
+impl Error for InvalidParamError {}
+
+/// Error returned by topology constructors and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A topology must contain at least one node.
+    Empty,
+    /// An edge referenced a node index `>= node_count`.
+    NodeOutOfRange {
+        /// The offending node index.
+        index: u32,
+        /// Number of nodes in the topology.
+        node_count: u32,
+    },
+    /// A random-graph builder failed to produce a strongly connected graph
+    /// within its retry budget.
+    NotConnected,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology must contain at least one node"),
+            TopologyError::NodeOutOfRange { index, node_count } => write!(
+                f,
+                "node index {index} out of range for topology of {node_count} nodes"
+            ),
+            TopologyError::NotConnected => {
+                write!(f, "random graph was not strongly connected within retry budget")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// A network-class contract violation detected during validation.
+///
+/// Produced by [`NetworkClass::validate`](crate::NetworkClass::validate)
+/// when a configured component does not satisfy the class's definition
+/// (Definition 1 of the paper for ABE; a hard delay bound for ABD).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassViolation {
+    /// The delay model's mean exceeds the ABE bound `δ`.
+    MeanDelayExceedsDelta {
+        /// Mean of the configured delay model, in seconds.
+        mean: f64,
+        /// The claimed bound `δ`, in seconds.
+        delta: f64,
+    },
+    /// ABD requires a bounded delay support; the model is unbounded.
+    DelayUnbounded,
+    /// The delay support's upper bound exceeds the ABD bound.
+    DelayExceedsBound {
+        /// Supremum of the delay support, in seconds.
+        sup: f64,
+        /// The claimed hard bound, in seconds.
+        bound: f64,
+    },
+    /// The clock specification allows rates outside `[s_low, s_high]`.
+    ClockRateOutOfBounds {
+        /// The clock spec's slowest rate.
+        spec_low: f64,
+        /// The clock spec's fastest rate.
+        spec_high: f64,
+        /// The class's `s_low`.
+        s_low: f64,
+        /// The class's `s_high`.
+        s_high: f64,
+    },
+    /// The processing model's mean exceeds the ABE bound `γ`.
+    ProcessingExceedsGamma {
+        /// Mean of the configured processing model, in seconds.
+        mean: f64,
+        /// The claimed bound `γ`, in seconds.
+        gamma: f64,
+    },
+}
+
+impl fmt::Display for ClassViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassViolation::MeanDelayExceedsDelta { mean, delta } => {
+                write!(f, "expected delay {mean}s exceeds the ABE bound delta = {delta}s")
+            }
+            ClassViolation::DelayUnbounded => {
+                write!(f, "ABD networks require a bounded delay support")
+            }
+            ClassViolation::DelayExceedsBound { sup, bound } => {
+                write!(f, "delay support reaches {sup}s, beyond the ABD bound {bound}s")
+            }
+            ClassViolation::ClockRateOutOfBounds {
+                spec_low,
+                spec_high,
+                s_low,
+                s_high,
+            } => write!(
+                f,
+                "clock rates [{spec_low}, {spec_high}] fall outside the class bounds [{s_low}, {s_high}]"
+            ),
+            ClassViolation::ProcessingExceedsGamma { mean, gamma } => {
+                write!(f, "expected processing time {mean}s exceeds gamma = {gamma}s")
+            }
+        }
+    }
+}
+
+impl Error for ClassViolation {}
+
+/// Top-level error for network assembly.
+#[derive(Debug)]
+pub enum BuildError {
+    /// A model parameter was invalid.
+    InvalidParam(InvalidParamError),
+    /// The topology was invalid.
+    Topology(TopologyError),
+    /// A declared network class was violated by the configuration.
+    Class(ClassViolation),
+    /// A per-edge delay list had the wrong length.
+    EdgeDelayCount {
+        /// Number of supplied delay models.
+        supplied: usize,
+        /// Number of edges in the topology.
+        edges: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InvalidParam(e) => write!(f, "{e}"),
+            BuildError::Topology(e) => write!(f, "{e}"),
+            BuildError::Class(e) => write!(f, "network class violated: {e}"),
+            BuildError::EdgeDelayCount { supplied, edges } => write!(
+                f,
+                "per-edge delay list has {supplied} entries but the topology has {edges} edges"
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::InvalidParam(e) => Some(e),
+            BuildError::Topology(e) => Some(e),
+            BuildError::Class(e) => Some(e),
+            BuildError::EdgeDelayCount { .. } => None,
+        }
+    }
+}
+
+impl From<InvalidParamError> for BuildError {
+    fn from(e: InvalidParamError) -> Self {
+        BuildError::InvalidParam(e)
+    }
+}
+
+impl From<TopologyError> for BuildError {
+    fn from(e: TopologyError) -> Self {
+        BuildError::Topology(e)
+    }
+}
+
+impl From<ClassViolation> for BuildError {
+    fn from(e: ClassViolation) -> Self {
+        BuildError::Class(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_param_displays_all_fields() {
+        let e = InvalidParamError::new("p", "must lie in (0, 1]", 1.5);
+        let s = e.to_string();
+        assert!(s.contains("`p`"));
+        assert!(s.contains("(0, 1]"));
+        assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn topology_error_messages() {
+        assert!(TopologyError::Empty.to_string().contains("at least one node"));
+        let e = TopologyError::NodeOutOfRange {
+            index: 9,
+            node_count: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn class_violation_messages() {
+        let v = ClassViolation::MeanDelayExceedsDelta {
+            mean: 2.0,
+            delta: 1.0,
+        };
+        assert!(v.to_string().contains("delta"));
+        assert!(ClassViolation::DelayUnbounded.to_string().contains("bounded"));
+    }
+
+    #[test]
+    fn build_error_wraps_sources() {
+        let e: BuildError = InvalidParamError::new("x", "positive", -1).into();
+        assert!(e.source().is_some());
+        let e: BuildError = TopologyError::Empty.into();
+        assert!(e.source().is_some());
+        let e = BuildError::EdgeDelayCount {
+            supplied: 2,
+            edges: 3,
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains('2'));
+    }
+}

@@ -1,0 +1,625 @@
+//! The network runtime: wires protocols, channels, and clocks into an
+//! [`abe_sim::Simulation`].
+//!
+//! Responsibilities:
+//!
+//! * deliver each sent message after an independent draw from the edge's
+//!   delay model (non-FIFO by default — "the order of messages is arbitrary
+//!   between any pair of nodes"), plus a processing-time draw (`γ`);
+//! * drive each node's local clock ticks at its own bounded-drift rate,
+//!   but only while the protocol [`wants_tick`](Protocol::wants_tick) —
+//!   so networks quiesce once all activity ceases;
+//! * aggregate message counts and experiment counters into a
+//!   [`NetworkReport`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use abe_sim::{
+    EventToken, RunLimits, RunOutcome, SimTime, Simulation, StepCtx, TraceBuffer, World,
+    Xoshiro256PlusPlus,
+};
+
+use crate::clock::LocalClock;
+use crate::delay::SharedDelay;
+use crate::protocol::{Ctx, InPort, Protocol};
+use crate::topology::{EdgeId, NodeId, Topology};
+
+/// Events driving a [`Network`].
+#[derive(Debug, Clone)]
+pub enum NetEvent<M> {
+    /// Node start-up (dispatched once per node at time zero).
+    Start(u32),
+    /// A local clock tick at the given node.
+    Tick(u32),
+    /// Delivery of a message on the given edge.
+    Deliver {
+        /// The edge carrying the message.
+        edge: u32,
+        /// The payload.
+        msg: M,
+    },
+}
+
+pub(crate) struct NodeSlot<P> {
+    pub(crate) proto: P,
+    clock: LocalClock,
+    rng: Xoshiro256PlusPlus,
+    tick_token: Option<EventToken>,
+    messages_sent: u64,
+    messages_received: u64,
+}
+
+pub(crate) struct ChannelState {
+    pub(crate) delay: SharedDelay,
+    rng: Xoshiro256PlusPlus,
+    last_arrival: SimTime,
+    sent: u64,
+}
+
+/// Aggregated outcome of a network run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReport {
+    /// Why the simulation returned.
+    pub outcome: RunOutcome,
+    /// Virtual time at the end of the run.
+    pub end_time: SimTime,
+    /// Kernel events processed.
+    pub events_processed: u64,
+    /// Messages handed to channels.
+    pub messages_sent: u64,
+    /// Messages delivered to protocols.
+    pub messages_delivered: u64,
+    /// Messages still in flight when the run ended.
+    pub in_flight: u64,
+    /// Local clock ticks dispatched.
+    pub ticks: u64,
+    /// Experiment counters accumulated via [`Ctx::count`].
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl NetworkReport {
+    /// Convenience accessor for a counter, defaulting to 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// A fully wired network of `P`-protocol nodes, ready to simulate.
+///
+/// Construct through [`NetworkBuilder`](crate::NetworkBuilder); run with
+/// [`Network::run`].
+pub struct Network<P: Protocol> {
+    topo: Topology,
+    /// Per node: in-port index → reverse out-port (bidirectional links).
+    reply_ports: Vec<Vec<Option<usize>>>,
+    nodes: Vec<NodeSlot<P>>,
+    channels: Vec<ChannelState>,
+    processing: SharedDelay,
+    proc_rng: Xoshiro256PlusPlus,
+    fifo: bool,
+    tick_interval: f64,
+    counters: BTreeMap<&'static str, u64>,
+    messages_sent: u64,
+    messages_delivered: u64,
+    ticks: u64,
+    trace: Option<TraceBuffer<String>>,
+}
+
+enum Dispatch<M> {
+    Start,
+    Tick,
+    Message(InPort, M),
+}
+
+impl<P: Protocol> Network<P> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        topo: Topology,
+        protos: Vec<P>,
+        clocks: Vec<LocalClock>,
+        node_rngs: Vec<Xoshiro256PlusPlus>,
+        edge_delays: Vec<SharedDelay>,
+        channel_rngs: Vec<Xoshiro256PlusPlus>,
+        processing: SharedDelay,
+        proc_rng: Xoshiro256PlusPlus,
+        fifo: bool,
+        tick_interval: f64,
+        trace_capacity: usize,
+    ) -> Self {
+        debug_assert_eq!(protos.len(), topo.node_count() as usize);
+        debug_assert_eq!(edge_delays.len(), topo.edge_count());
+        let nodes = protos
+            .into_iter()
+            .zip(clocks)
+            .zip(node_rngs)
+            .map(|((proto, clock), rng)| NodeSlot {
+                proto,
+                clock,
+                rng,
+                tick_token: None,
+                messages_sent: 0,
+                messages_received: 0,
+            })
+            .collect();
+        let channels = edge_delays
+            .into_iter()
+            .zip(channel_rngs)
+            .map(|(delay, rng)| ChannelState {
+                delay,
+                rng,
+                last_arrival: SimTime::ZERO,
+                sent: 0,
+            })
+            .collect();
+        let reply_ports = topo
+            .nodes()
+            .map(|node| {
+                (0..topo.in_degree(node))
+                    .map(|in_port| topo.reverse_port(node, in_port))
+                    .collect()
+            })
+            .collect();
+        Self {
+            reply_ports,
+            topo,
+            nodes,
+            channels,
+            processing,
+            proc_rng,
+            fifo,
+            tick_interval,
+            counters: BTreeMap::new(),
+            messages_sent: 0,
+            messages_delivered: 0,
+            ticks: 0,
+            trace: (trace_capacity > 0).then(|| TraceBuffer::new(trace_capacity)),
+        }
+    }
+
+    /// The retained execution trace, if tracing was enabled via
+    /// [`NetworkBuilder::trace_capacity`](crate::NetworkBuilder::trace_capacity).
+    ///
+    /// Records one line per network event (`deliver`, `tick`, `start`),
+    /// oldest first, bounded by the configured capacity.
+    pub fn trace(&self) -> impl Iterator<Item = &abe_sim::TraceRecord<String>> {
+        self.trace.iter().flat_map(|t| t.iter())
+    }
+
+    /// The topology this network runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Shared access to the protocol state of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &P {
+        &self.nodes[i].proto
+    }
+
+    /// Iterates over all protocol states in node order.
+    pub fn protocols(&self) -> impl Iterator<Item = &P> {
+        self.nodes.iter().map(|s| &s.proto)
+    }
+
+    /// Messages sent by node `i` so far.
+    pub fn node_messages_sent(&self, i: usize) -> u64 {
+        self.nodes[i].messages_sent
+    }
+
+    /// Messages received by node `i` so far.
+    pub fn node_messages_received(&self, i: usize) -> u64 {
+        self.nodes[i].messages_received
+    }
+
+    /// Runs the network from time zero until quiescence, a stop request,
+    /// or a limit; returns the report and the final network state.
+    ///
+    /// Quiescence means: no messages in flight *and* no node wants ticks.
+    pub fn run(self, limits: RunLimits) -> (NetworkReport, Network<P>) {
+        let n = self.topo.node_count();
+        let mut sim = Simulation::new(self);
+        for i in 0..n {
+            sim.prime(SimTime::ZERO, NetEvent::Start(i));
+        }
+        let kernel_report = sim.run(limits);
+        let end_time = sim.now();
+        let events_processed = sim.events_processed();
+        let net = sim.into_world();
+        let report = NetworkReport {
+            outcome: kernel_report.outcome,
+            end_time,
+            events_processed,
+            messages_sent: net.messages_sent,
+            messages_delivered: net.messages_delivered,
+            in_flight: net.messages_sent - net.messages_delivered,
+            ticks: net.ticks,
+            counters: net.counters.clone(),
+        };
+        (report, net)
+    }
+
+    /// Dispatches one protocol handler and applies its effects.
+    fn dispatch(
+        &mut self,
+        step: &mut StepCtx<'_, NetEvent<P::Message>>,
+        node_index: u32,
+        kind: Dispatch<P::Message>,
+    ) {
+        let node_id = NodeId::new(node_index);
+        let out_degree = self.topo.out_degree(node_id);
+        let in_degree = self.topo.in_degree(node_id);
+        let network_size = self.topo.node_count();
+
+        let (outbox, counters, stop) = {
+            let reply_ports = &self.reply_ports[node_index as usize];
+            let slot = &mut self.nodes[node_index as usize];
+            let local_time = slot.clock.advance_to(step.now());
+            let mut ctx = Ctx::new(
+                local_time,
+                network_size,
+                out_degree,
+                in_degree,
+                reply_ports,
+                &mut slot.rng,
+            );
+            match kind {
+                Dispatch::Start => slot.proto.on_start(&mut ctx),
+                Dispatch::Tick => slot.proto.on_tick(&mut ctx),
+                Dispatch::Message(port, msg) => slot.proto.on_message(port, msg, &mut ctx),
+            }
+            ctx.into_effects()
+        };
+
+        for (port, msg) in outbox {
+            self.transmit(step, node_id, port.0, msg);
+        }
+        for (name, amount) in counters {
+            *self.counters.entry(name).or_insert(0) += amount;
+        }
+        if stop {
+            step.request_stop();
+        }
+        self.sync_tick(step, node_index);
+    }
+
+    /// Samples delays and schedules the delivery of one message.
+    fn transmit(
+        &mut self,
+        step: &mut StepCtx<'_, NetEvent<P::Message>>,
+        src: NodeId,
+        port: usize,
+        msg: P::Message,
+    ) {
+        let edge = self.topo.out_edges(src)[port];
+        let channel = &mut self.channels[edge.index()];
+        let channel_delay = channel.delay.sample(&mut channel.rng);
+        let proc_delay = self.processing.sample(&mut self.proc_rng);
+        let mut arrival = step.now() + channel_delay + proc_delay;
+        if self.fifo && arrival < channel.last_arrival {
+            arrival = channel.last_arrival;
+        }
+        channel.last_arrival = arrival;
+        channel.sent += 1;
+        self.messages_sent += 1;
+        self.nodes[src.index()].messages_sent += 1;
+        step.schedule_at(
+            arrival,
+            NetEvent::Deliver {
+                edge: edge.index() as u32,
+                msg,
+            },
+        );
+    }
+
+    /// Ensures the node's tick schedule matches its `wants_tick` state.
+    fn sync_tick(&mut self, step: &mut StepCtx<'_, NetEvent<P::Message>>, node_index: u32) {
+        let slot = &mut self.nodes[node_index as usize];
+        let wants = slot.proto.wants_tick();
+        match (wants, slot.tick_token) {
+            (true, None) => {
+                let stride = slot.proto.tick_stride(&mut slot.rng).max(1);
+                // Under wandering drift the rate is re-drawn once per
+                // stride; rates stay within the clock bounds throughout.
+                let interval = slot
+                    .clock
+                    .real_interval(self.tick_interval * stride as f64, &mut slot.rng);
+                let token = step.schedule_in(interval, NetEvent::Tick(node_index));
+                slot.tick_token = Some(token);
+            }
+            (false, Some(token)) => {
+                step.cancel(token);
+                slot.tick_token = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of messages sent over `edge` so far.
+    pub fn edge_messages(&self, edge: EdgeId) -> u64 {
+        self.channels[edge.index()].sent
+    }
+}
+
+impl<P: Protocol> World for Network<P> {
+    type Event = NetEvent<P::Message>;
+
+    fn handle(&mut self, step: &mut StepCtx<'_, Self::Event>, event: Self::Event) {
+        if let Some(trace) = &mut self.trace {
+            let line = match &event {
+                NetEvent::Start(i) => format!("start n{i}"),
+                NetEvent::Tick(i) => format!("tick n{i}"),
+                NetEvent::Deliver { edge, msg } => {
+                    let eid = EdgeId_from(*edge);
+                    let e = self.topo.edge(eid);
+                    format!("deliver {} -> {}: {msg:?}", e.src, e.dst)
+                }
+            };
+            trace.push(step.now(), line);
+        }
+        match event {
+            NetEvent::Start(i) => self.dispatch(step, i, Dispatch::Start),
+            NetEvent::Tick(i) => {
+                self.nodes[i as usize].tick_token = None;
+                self.ticks += 1;
+                self.dispatch(step, i, Dispatch::Tick);
+            }
+            NetEvent::Deliver { edge, msg } => {
+                let eid = EdgeId_from(edge);
+                let dst = self.topo.edge(eid).dst;
+                let port = InPort(self.topo.in_port(eid));
+                self.messages_delivered += 1;
+                self.nodes[dst.index()].messages_received += 1;
+                self.dispatch(step, dst.index() as u32, Dispatch::Message(port, msg));
+            }
+        }
+    }
+}
+
+// EdgeId has no public raw constructor (indices are issued by Topology);
+// the runtime reconstructs ids from its own events, which always hold
+// valid indices for the owned topology.
+#[allow(non_snake_case)]
+fn EdgeId_from(raw: u32) -> EdgeId {
+    // Safety of representation: Topology hands out dense indices starting
+    // at zero; NetEvent::Deliver is only constructed from those.
+    crate::topology::edge_id_from_raw(raw)
+}
+
+impl<P: Protocol + fmt::Debug> fmt::Debug for Network<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("edges", &self.channels.len())
+            .field("messages_sent", &self.messages_sent)
+            .field("messages_delivered", &self.messages_delivered)
+            .field("ticks", &self.ticks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tick_tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::delay::Deterministic;
+    use crate::protocol::{Ctx, OutPort};
+    use crate::Topology;
+    use abe_sim::RunLimits;
+
+    /// Ticks `limit` times with a fixed stride, recording tick times.
+    #[derive(Debug)]
+    struct Strider {
+        stride: u64,
+        remaining: u32,
+        tick_times: Vec<f64>,
+    }
+
+    impl Protocol for Strider {
+        type Message = ();
+        fn on_message(&mut self, _from: InPort, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+        fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.remaining -= 1;
+            self.tick_times.push(ctx.local_time());
+        }
+        fn wants_tick(&self) -> bool {
+            self.remaining > 0
+        }
+        fn tick_stride(&mut self, _rng: &mut Xoshiro256PlusPlus) -> u64 {
+            self.stride
+        }
+    }
+
+    fn run_strider(stride: u64, ticks: u32) -> Vec<f64> {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(1).unwrap())
+            .delay(Deterministic::zero())
+            .build(|_| Strider {
+                stride,
+                remaining: ticks,
+                tick_times: Vec::new(),
+            })
+            .unwrap();
+        let (report, net) = net.run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        net.node(0).tick_times.clone()
+    }
+
+    #[test]
+    fn stride_one_ticks_every_interval() {
+        let times = run_strider(1, 5);
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn stride_k_ticks_every_k_intervals() {
+        let times = run_strider(4, 3);
+        assert_eq!(times, vec![4.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn stride_zero_is_clamped_to_one() {
+        let times = run_strider(0, 2);
+        assert_eq!(times, vec![1.0, 2.0]);
+    }
+
+    /// Uses the reply port to bounce a message back where it came from.
+    #[derive(Debug)]
+    struct Bouncer {
+        serve: bool,
+        bounces: u32,
+        got_back: u32,
+    }
+
+    impl Protocol for Bouncer {
+        type Message = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if self.serve {
+                for p in 0..ctx.out_degree() {
+                    ctx.send(OutPort(p), 0);
+                }
+            }
+        }
+        fn on_message(&mut self, from: InPort, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            if self.serve {
+                self.got_back += 1;
+            } else if msg < self.bounces {
+                let back = ctx.reply_port(from).expect("symmetric topology");
+                ctx.send(back, msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn reply_ports_route_back_to_sender() {
+        let net = NetworkBuilder::new(Topology::star(5).unwrap())
+            .delay(Deterministic::new(1.0).unwrap())
+            .build(|i| Bouncer {
+                serve: i == 0,
+                bounces: 1,
+                got_back: 0,
+            })
+            .unwrap();
+        let (report, net) = net.run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        // Hub sent 4, each leaf bounced once back to the hub.
+        assert_eq!(net.node(0).got_back, 4);
+        assert_eq!(report.messages_sent, 8);
+    }
+
+    /// Every event kind advances the local clock before dispatch.
+    #[derive(Debug)]
+    struct ClockWatcher {
+        fire: bool,
+        seen: Vec<f64>,
+    }
+
+    impl Protocol for ClockWatcher {
+        type Message = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.seen.push(ctx.local_time());
+            if self.fire {
+                ctx.send(OutPort(0), ());
+            }
+        }
+        fn on_message(&mut self, _from: InPort, _msg: (), ctx: &mut Ctx<'_, ()>) {
+            self.seen.push(ctx.local_time());
+        }
+    }
+
+    #[test]
+    fn local_time_advances_with_delivery() {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .delay(Deterministic::new(2.5).unwrap())
+            .build(|i| ClockWatcher {
+                fire: i == 0,
+                seen: Vec::new(),
+            })
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        assert_eq!(net.node(0).seen, vec![0.0]);
+        assert_eq!(net.node(1).seen, vec![0.0, 2.5]);
+    }
+
+    #[test]
+    fn edge_message_counters_track_per_channel() {
+        let topo = Topology::unidirectional_ring(2).unwrap();
+        let edges: Vec<_> = topo.edges().map(|(id, _)| id).collect();
+        let net = NetworkBuilder::new(topo)
+            .delay(Deterministic::new(1.0).unwrap())
+            .build(|i| ClockWatcher {
+                fire: i == 0,
+                seen: Vec::new(),
+            })
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        assert_eq!(net.edge_messages(edges[0]), 1);
+        assert_eq!(net.edge_messages(edges[1]), 0);
+    }
+
+    #[test]
+    fn tracing_records_events_in_order() {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .delay(Deterministic::new(1.0).unwrap())
+            .trace_capacity(64)
+            .build(|i| ClockWatcher {
+                fire: i == 0,
+                seen: Vec::new(),
+            })
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        let lines: Vec<&str> = net.trace().map(|r| r.data.as_str()).collect();
+        assert_eq!(lines, vec!["start n0", "start n1", "deliver n0 -> n1: ()"]);
+        // Timestamps are monotone.
+        let times: Vec<f64> = net.trace().map(|r| r.time.as_secs()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .delay(Deterministic::new(1.0).unwrap())
+            .build(|i| ClockWatcher {
+                fire: i == 0,
+                seen: Vec::new(),
+            })
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        assert_eq!(net.trace().count(), 0);
+    }
+
+    #[test]
+    fn trace_capacity_bounds_retention() {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .delay(Deterministic::new(1.0).unwrap())
+            .trace_capacity(1)
+            .build(|i| ClockWatcher {
+                fire: i == 0,
+                seen: Vec::new(),
+            })
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        // Only the newest record is retained.
+        assert_eq!(net.trace().count(), 1);
+        assert_eq!(
+            net.trace().next().unwrap().data,
+            "deliver n0 -> n1: ()"
+        );
+    }
+
+    #[test]
+    fn shared_processing_model_is_applied_per_delivery() {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .delay(Deterministic::new(1.0).unwrap())
+            .processing(Deterministic::new(0.25).unwrap())
+            .build(|i| ClockWatcher {
+                fire: i == 0,
+                seen: Vec::new(),
+            })
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        assert_eq!(net.node(1).seen, vec![0.0, 1.25]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Chang–Roberts election for unidirectional rings **with identities**.
+//!
+//! The classic identity-based baseline: not anonymous (each node holds a
+//! unique identifier handed to it at construction), no ABE knowledge.
+//! With the standard suppression rule its *average* message complexity is
+//! `n·H_n ≈ n ln n`, worst case `O(n²)` — again `Ω(n log n)`-class, which
+//! is what the paper's §1 cites for asynchronous rings.
+//!
+//! Rules: every node starts as a candidate and sends its id. A node
+//! receiving id `v`:
+//!
+//! * `v` equal to its own id → its id survived the full circle: **leader**;
+//! * `v` larger than the largest id seen so far → forward `v` (and give up
+//!   candidacy);
+//! * otherwise → purge (suppression).
+
+use abe_core::{Ctx, InPort, OutPort, Protocol};
+
+/// One Chang–Roberts node with a unique identity.
+///
+/// # Examples
+///
+/// ```
+/// use abe_core::delay::Exponential;
+/// use abe_core::{NetworkBuilder, Topology};
+/// use abe_election::ChangRoberts;
+/// use abe_sim::RunLimits;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = 8u32;
+/// let net = NetworkBuilder::new(Topology::unidirectional_ring(n)?)
+///     .delay(Exponential::from_mean(1.0)?)
+///     .seed(4)
+///     .build(|i| ChangRoberts::new(i as u64))?;
+/// let (_, net) = net.run(RunLimits::unbounded());
+/// let leader: Vec<_> = net.protocols().filter(|p| p.is_leader()).collect();
+/// assert_eq!(leader.len(), 1);
+/// assert_eq!(leader[0].id(), (n - 1) as u64); // highest id wins
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChangRoberts {
+    id: u64,
+    max_seen: u64,
+    leader: bool,
+}
+
+impl ChangRoberts {
+    /// Creates a node with the given unique identity.
+    pub fn new(id: u64) -> Self {
+        Self {
+            id,
+            max_seen: id,
+            leader: false,
+        }
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether this node won the election.
+    pub fn is_leader(&self) -> bool {
+        self.leader
+    }
+}
+
+impl Protocol for ChangRoberts {
+    type Message = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.send(OutPort(0), self.id);
+    }
+
+    fn on_message(&mut self, _from: InPort, id: u64, ctx: &mut Ctx<'_, u64>) {
+        if id == self.id {
+            self.leader = true;
+            ctx.count("elected", 1);
+            ctx.stop_network();
+        } else if id > self.max_seen {
+            self.max_seen = id;
+            ctx.send(OutPort(0), id);
+        }
+        // Smaller ids are suppressed.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_core::delay::{Deterministic, Exponential};
+    use abe_core::{NetworkBuilder, Topology};
+    use abe_sim::RunLimits;
+
+    fn run_ring(n: u32, seed: u64, ids: impl Fn(usize) -> u64) -> (abe_core::NetworkReport, u64) {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+            .delay(Exponential::from_mean(1.0).unwrap())
+            .seed(seed)
+            .build(|i| ChangRoberts::new(ids(i)))
+            .unwrap();
+        let (report, net) = net.run(RunLimits::unbounded());
+        let leader_ids: Vec<u64> = net
+            .protocols()
+            .filter(|p| p.is_leader())
+            .map(|p| p.id())
+            .collect();
+        assert_eq!(leader_ids.len(), 1);
+        (report, leader_ids[0])
+    }
+
+    #[test]
+    fn highest_id_always_wins() {
+        for seed in 0..10 {
+            let (_, winner) = run_ring(9, seed, |i| (i as u64 * 13) % 101);
+            let expected = (0..9).map(|i| (i as u64 * 13) % 101).max().unwrap();
+            assert_eq!(winner, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_node_elects_itself() {
+        let (report, winner) = run_ring(1, 0, |_| 42);
+        assert_eq!(winner, 42);
+        assert_eq!(report.messages_sent, 1);
+    }
+
+    #[test]
+    fn worst_case_is_quadratic_like() {
+        // Ids in descending ring order make each id travel far: the classic
+        // adversarial arrangement. Total messages should far exceed the
+        // sorted-ascending arrangement.
+        let n = 32;
+        let (desc, _) = run_ring(n, 1, |i| (n as u64) - i as u64);
+        let (asc, _) = run_ring(n, 1, |i| i as u64 + 1);
+        assert!(
+            desc.messages_sent > asc.messages_sent,
+            "descending {} vs ascending {}",
+            desc.messages_sent,
+            asc.messages_sent
+        );
+    }
+
+    #[test]
+    fn ascending_ids_near_linear() {
+        // With ascending ids along the ring the winner's id suppresses
+        // everything within one hop: message count stays Θ(n).
+        let n = 64;
+        let (report, _) = run_ring(n, 2, |i| i as u64 + 1);
+        assert!(report.messages_sent <= 3 * n as u64);
+    }
+
+    #[test]
+    fn deterministic_delay_also_works() {
+        let n = 8;
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+            .delay(Deterministic::new(1.0).unwrap())
+            .build(|i| ChangRoberts::new(i as u64))
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        assert_eq!(net.protocols().filter(|p| p.is_leader()).count(), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Ablation variant: **fixed** activation probability.
+//!
+//! Identical to [`AbeElection`](crate::AbeElection) except that an idle
+//! node wakes with constant probability `A0` instead of the adaptive
+//! `1 − (1 − A0)^d`. The paper argues the adaptive probability keeps the
+//! aggregate wake-up rate of the ring constant over time, "ensur[ing] that
+//! the algorithm has linear time and message complexity"; this variant
+//! exists to measure what is lost without it (experiment E8).
+
+use abe_core::{geometric_trials, Ctx, InPort, OutPort, Protocol};
+use abe_sim::Xoshiro256PlusPlus;
+
+use crate::abe::counters;
+use crate::state::ElectionState;
+use crate::InvalidConfigError;
+
+/// One ring node with non-adaptive wake-up probability.
+///
+/// Same message rules as the paper's algorithm; only the tick rule differs.
+#[derive(Debug, Clone)]
+pub struct FixedActivation {
+    n: u32,
+    a0: f64,
+    state: ElectionState,
+    d: u32,
+    activations: u64,
+}
+
+impl FixedActivation {
+    /// Creates one ring node with constant wake probability `a0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `n ≥ 1` and `a0 ∈ (0, 1)`.
+    pub fn new(n: u32, a0: f64) -> Result<Self, InvalidConfigError> {
+        if n == 0 {
+            return Err(InvalidConfigError::new("n", "must be at least 1"));
+        }
+        if !(a0.is_finite() && a0 > 0.0 && a0 < 1.0) {
+            return Err(InvalidConfigError::new("a0", "must lie in the open interval (0, 1)"));
+        }
+        Ok(Self {
+            n,
+            a0,
+            state: ElectionState::Idle,
+            d: 1,
+            activations: 0,
+        })
+    }
+
+    /// Current node state.
+    pub fn state(&self) -> ElectionState {
+        self.state
+    }
+
+    /// Current hop-count knowledge `d`.
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// How often this node became active.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+}
+
+impl Protocol for FixedActivation {
+    type Message = u32;
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if self.state != ElectionState::Idle {
+            return;
+        }
+        // The geometric stride already decided this flip succeeds.
+        self.state = ElectionState::Active;
+        self.activations += 1;
+        ctx.count(counters::ACTIVATIONS, 1);
+        ctx.send(OutPort(0), 1);
+    }
+
+    fn on_message(&mut self, _from: InPort, hop: u32, ctx: &mut Ctx<'_, u32>) {
+        self.d = self.d.max(hop);
+        match self.state {
+            ElectionState::Idle => {
+                self.state = ElectionState::Passive;
+                ctx.count(counters::KNOCKOUTS, 1);
+                ctx.send(OutPort(0), self.d + 1);
+            }
+            ElectionState::Passive => {
+                ctx.count(counters::FORWARDS, 1);
+                ctx.send(OutPort(0), self.d + 1);
+            }
+            ElectionState::Active => {
+                if hop == self.n {
+                    self.state = ElectionState::Leader;
+                    ctx.count(counters::ELECTED, 1);
+                    ctx.stop_network();
+                } else {
+                    self.state = ElectionState::Idle;
+                    ctx.count(counters::PURGES, 1);
+                }
+            }
+            ElectionState::Leader => {}
+        }
+    }
+
+    fn wants_tick(&self) -> bool {
+        self.state == ElectionState::Idle
+    }
+
+    fn tick_stride(&mut self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        // The wake probability is constant (that is the ablation), so the
+        // first success is geometric here too.
+        geometric_trials(rng, self.a0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_core::delay::Exponential;
+    use abe_core::{NetworkBuilder, Topology};
+    use abe_sim::RunLimits;
+
+    fn run_ring(n: u32, a0: f64, seed: u64) -> (abe_core::NetworkReport, usize) {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+            .delay(Exponential::from_mean(1.0).unwrap())
+            .seed(seed)
+            .build(|_| FixedActivation::new(n, a0).unwrap())
+            .unwrap();
+        let (report, net) = net.run(RunLimits::unbounded());
+        let leaders = net
+            .protocols()
+            .filter(|p| p.state() == ElectionState::Leader)
+            .count();
+        (report, leaders)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(FixedActivation::new(0, 0.5).is_err());
+        assert!(FixedActivation::new(4, 1.0).is_err());
+        assert!(FixedActivation::new(4, 0.5).is_ok());
+    }
+
+    #[test]
+    fn still_elects_exactly_one_leader() {
+        // Correctness is unchanged by the ablation; only efficiency is.
+        for seed in 0..20 {
+            let (report, leaders) = run_ring(8, 0.3, seed);
+            assert_eq!(leaders, 1, "seed {seed}");
+            assert_eq!(report.counter(counters::ELECTED), 1);
+        }
+    }
+
+    #[test]
+    fn takes_longer_than_adaptive_at_calibrated_a0() {
+        // The paper's point (experiment E8): the adaptive probability
+        // 1-(1-A0)^d raises a lone survivor's wake rate as knockouts
+        // accumulate; with a constant A0 = a/n² the endgame waits Θ(n²/a)
+        // ticks instead of Θ(n/a). Adaptive must win clearly.
+        use crate::abe::AbeElection;
+        let n = 64;
+        let a0 = 1.0 / (64.0 * 64.0);
+        let mut fixed_time = 0.0;
+        let mut adaptive_time = 0.0;
+        for seed in 0..10 {
+            let (rep_fixed, _) = run_ring(n, a0, seed);
+            fixed_time += rep_fixed.end_time.as_secs();
+            let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+                .delay(Exponential::from_mean(1.0).unwrap())
+                .seed(seed)
+                .build(|_| AbeElection::new(n, a0).unwrap())
+                .unwrap();
+            let (rep_adaptive, _) = net.run(RunLimits::unbounded());
+            adaptive_time += rep_adaptive.end_time.as_secs();
+        }
+        assert!(
+            fixed_time > 2.0 * adaptive_time,
+            "fixed {fixed_time} should far exceed adaptive {adaptive_time}"
+        );
+    }
+}

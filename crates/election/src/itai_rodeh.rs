@@ -1,0 +1,282 @@
+//! Itai–Rodeh probabilistic election for anonymous asynchronous rings.
+//!
+//! The classic algorithm the paper's §1 compares against: anonymous,
+//! unidirectional, ring size `n` known, **no ABE knowledge used** — so it is
+//! subject to the `Ω(n log n)` average message lower bound for asynchronous
+//! rings. We implement the round-number variant (after Fokkink & Pang),
+//! which stays correct under arbitrary (non-FIFO) message reordering:
+//!
+//! Every node starts active in round 1, draws a random identity from
+//! `{1, …, n}`, and sends a token `(id, round, hop = 1, bit = true)`.
+//! An active node receiving a token:
+//!
+//! * own token back (`hop = n`, matching round and id): **leader** if `bit`
+//!   is still true, else start the next round with a fresh identity;
+//! * lexicographically larger `(round, id)`: become **passive**, forward;
+//! * smaller `(round, id)`: purge;
+//! * equal `(round, id)` but `hop < n`: an identity collision — clear the
+//!   token's `bit` and forward.
+//!
+//! Passive nodes forward every token with `hop + 1`.
+
+use abe_core::{Ctx, InPort, OutPort, Protocol};
+use rand::RngExt;
+
+use crate::InvalidConfigError;
+
+/// The token circulated by Itai–Rodeh election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrToken {
+    /// Randomly drawn identity for this round.
+    pub id: u32,
+    /// Round number (ties are broken by fresh identities each round).
+    pub round: u32,
+    /// Hops travelled so far.
+    pub hop: u32,
+    /// True while no identity collision has been observed.
+    pub bit: bool,
+}
+
+/// Node role within the Itai–Rodeh algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IrState {
+    Active,
+    Passive,
+    Leader,
+}
+
+/// One node of the Itai–Rodeh election.
+///
+/// # Examples
+///
+/// ```
+/// use abe_core::delay::Exponential;
+/// use abe_core::{NetworkBuilder, Topology};
+/// use abe_election::ItaiRodeh;
+/// use abe_sim::RunLimits;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = 8;
+/// let net = NetworkBuilder::new(Topology::unidirectional_ring(n)?)
+///     .delay(Exponential::from_mean(1.0)?)
+///     .seed(3)
+///     .build(|_| ItaiRodeh::new(n).expect("valid n"))?;
+/// let (report, net) = net.run(RunLimits::unbounded());
+/// assert_eq!(net.protocols().filter(|p| p.is_leader()).count(), 1);
+/// assert!(report.outcome.is_stopped());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ItaiRodeh {
+    n: u32,
+    state: IrState,
+    id: u32,
+    round: u32,
+    rounds_started: u64,
+}
+
+impl ItaiRodeh {
+    /// Creates one ring node knowing ring size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0`.
+    pub fn new(n: u32) -> Result<Self, InvalidConfigError> {
+        if n == 0 {
+            return Err(InvalidConfigError::new("n", "must be at least 1"));
+        }
+        Ok(Self {
+            n,
+            state: IrState::Active,
+            id: 0,
+            round: 1,
+            rounds_started: 0,
+        })
+    }
+
+    /// Whether this node won the election.
+    pub fn is_leader(&self) -> bool {
+        self.state == IrState::Leader
+    }
+
+    /// Whether this node is still competing.
+    pub fn is_active(&self) -> bool {
+        self.state == IrState::Active
+    }
+
+    /// Number of rounds this node has started.
+    pub fn rounds_started(&self) -> u64 {
+        self.rounds_started
+    }
+
+    fn start_round(&mut self, ctx: &mut Ctx<'_, IrToken>) {
+        self.rounds_started += 1;
+        self.id = ctx.rng().random_range(1..=self.n);
+        ctx.send(
+            OutPort(0),
+            IrToken {
+                id: self.id,
+                round: self.round,
+                hop: 1,
+                bit: true,
+            },
+        );
+    }
+
+    fn forward(&self, token: IrToken, ctx: &mut Ctx<'_, IrToken>) {
+        ctx.send(
+            OutPort(0),
+            IrToken {
+                hop: token.hop + 1,
+                ..token
+            },
+        );
+    }
+}
+
+impl Protocol for ItaiRodeh {
+    type Message = IrToken;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, IrToken>) {
+        self.start_round(ctx);
+    }
+
+    fn on_message(&mut self, _from: InPort, token: IrToken, ctx: &mut Ctx<'_, IrToken>) {
+        match self.state {
+            IrState::Passive => self.forward(token, ctx),
+            IrState::Leader => {
+                // Stale tokens arriving after victory are purged.
+            }
+            IrState::Active => {
+                let mine = (self.round, self.id);
+                let theirs = (token.round, token.id);
+                if token.hop == self.n && theirs == mine {
+                    // A token that travelled the full ring with our round
+                    // and identity: ours (or an indistinguishable twin).
+                    if token.bit {
+                        self.state = IrState::Leader;
+                        ctx.count("elected", 1);
+                        ctx.stop_network();
+                    } else {
+                        self.round += 1;
+                        self.start_round(ctx);
+                    }
+                } else if theirs > mine {
+                    self.state = IrState::Passive;
+                    self.forward(token, ctx);
+                } else if theirs < mine {
+                    // Purge: dominated token.
+                } else {
+                    // Equal (round, id) from a different node: collision.
+                    self.forward(
+                        IrToken {
+                            bit: false,
+                            ..token
+                        },
+                        ctx,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_core::delay::Exponential;
+    use abe_core::{NetworkBuilder, NetworkReport, Topology};
+    use abe_sim::RunLimits;
+
+    fn run_ring(n: u32, seed: u64) -> (NetworkReport, usize) {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+            .delay(Exponential::from_mean(1.0).unwrap())
+            .seed(seed)
+            .build(|_| ItaiRodeh::new(n).unwrap())
+            .unwrap();
+        // Generous safety cap: IR terminates with probability 1, but a
+        // budget guards the test suite against regressions.
+        let (report, net) = net.run(RunLimits::events(2_000_000));
+        let leaders = net.protocols().filter(|p| p.is_leader()).count();
+        (report, leaders)
+    }
+
+    #[test]
+    fn rejects_zero_nodes() {
+        assert!(ItaiRodeh::new(0).is_err());
+    }
+
+    #[test]
+    fn elects_exactly_one_leader() {
+        for seed in 0..30 {
+            let (report, leaders) = run_ring(8, seed);
+            assert_eq!(leaders, 1, "seed {seed}");
+            assert!(report.outcome.is_stopped(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let (report, leaders) = run_ring(1, 0);
+        assert_eq!(leaders, 1);
+        // One token, one hop.
+        assert_eq!(report.messages_sent, 1);
+    }
+
+    #[test]
+    fn two_nodes_resolve_collisions() {
+        for seed in 0..20 {
+            let (_, leaders) = run_ring(2, seed);
+            assert_eq!(leaders, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uses_more_messages_than_calibrated_abe() {
+        // The §1 comparison: IR (asynchronous, Ω(n log n)-class) spends
+        // several tokens per node, while the calibrated ABE algorithm
+        // stays near one message per node.
+        use crate::abe::AbeElection;
+        let n = 64;
+        let mut ir_total = 0.0;
+        let mut abe_total = 0.0;
+        let reps = 10;
+        for seed in 0..reps {
+            let (r, _) = run_ring(n, seed);
+            ir_total += r.messages_sent as f64;
+            let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+                .delay(Exponential::from_mean(1.0).unwrap())
+                .seed(seed)
+                .build(|_| AbeElection::calibrated(n, 1.0).unwrap())
+                .unwrap();
+            let (r, _) = net.run(RunLimits::unbounded());
+            abe_total += r.messages_sent as f64;
+        }
+        assert!(
+            ir_total > 2.0 * abe_total,
+            "IR ({ir_total}) should use far more messages than ABE ({abe_total}) at n={n}"
+        );
+    }
+
+    #[test]
+    fn rounds_progress_under_collisions() {
+        // With n = 2 the id space is {1, 2}: collisions happen with
+        // probability 1/2 per round, so multi-round executions must occur
+        // and still terminate.
+        let mut saw_multi_round = false;
+        for seed in 0..40 {
+            let net = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+                .delay(Exponential::from_mean(1.0).unwrap())
+                .seed(seed)
+                .build(|_| ItaiRodeh::new(2).unwrap())
+                .unwrap();
+            let (_, net) = net.run(RunLimits::events(2_000_000));
+            if net.protocols().any(|p| p.rounds_started() > 1) {
+                saw_multi_round = true;
+            }
+            assert_eq!(net.protocols().filter(|p| p.is_leader()).count(), 1);
+        }
+        assert!(saw_multi_round, "collisions should force extra rounds");
+    }
+}

@@ -1,0 +1,300 @@
+//! Peterson's election for unidirectional rings **with identities** —
+//! the deterministic `O(n log n)` worst-case baseline.
+//!
+//! Peterson (1982): in each phase an active node compares its temporary
+//! identity with those of its two nearest active predecessors; it survives
+//! iff its predecessor's identity is a local maximum, adopting that
+//! identity. At least half the active nodes drop out per phase, giving at
+//! most `log n` phases of `2n` messages — `O(n log n)` *worst case*,
+//! deterministically (unlike Chang–Roberts' `O(n²)` worst case).
+//!
+//! The algorithm assumes messages of a phase arrive in order; our channels
+//! reorder, so messages carry `(phase, step)` tags and nodes buffer
+//! out-of-order arrivals — the standard asynchronous-safe formulation.
+
+use std::collections::BTreeMap;
+
+use abe_core::{Ctx, InPort, OutPort, Protocol};
+
+/// A Peterson token: step 1 carries the sender's temporary identity, step
+/// 2 relays the predecessor's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PetersonMsg {
+    /// Phase number (starts at 0).
+    pub phase: u32,
+    /// Step within the phase: 1 or 2.
+    pub step: u8,
+    /// The carried temporary identity.
+    pub tid: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Active,
+    Relay,
+    Leader,
+}
+
+/// One node of Peterson's unidirectional election.
+///
+/// # Examples
+///
+/// ```
+/// use abe_core::delay::Exponential;
+/// use abe_core::{NetworkBuilder, Topology};
+/// use abe_election::Peterson;
+/// use abe_sim::RunLimits;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = 8u32;
+/// let net = NetworkBuilder::new(Topology::unidirectional_ring(n)?)
+///     .delay(Exponential::from_mean(1.0)?)
+///     .seed(5)
+///     .build(|i| Peterson::new(i as u64 + 1))?;
+/// let (_, net) = net.run(RunLimits::unbounded());
+/// assert_eq!(net.protocols().filter(|p| p.is_leader()).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Peterson {
+    role: Role,
+    /// Temporary identity for the current phase.
+    tid: u64,
+    phase: u32,
+    /// First identity received this phase (from the nearest active
+    /// predecessor), if any.
+    t1: Option<u64>,
+    /// Buffered out-of-order messages keyed by `(phase, step)`.
+    pending: BTreeMap<(u32, u8), u64>,
+}
+
+impl Peterson {
+    /// Creates a node with the given unique identity.
+    pub fn new(id: u64) -> Self {
+        Self {
+            role: Role::Active,
+            tid: id,
+            phase: 0,
+            t1: None,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this node won the election.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Whether this node is still competing.
+    pub fn is_active(&self) -> bool {
+        self.role == Role::Active
+    }
+
+    /// The phase this node has reached.
+    pub fn phase(&self) -> u32 {
+        self.phase
+    }
+
+    /// Processes any buffered message that has become current.
+    fn drain_pending(&mut self, ctx: &mut Ctx<'_, PetersonMsg>) {
+        loop {
+            let want_step = if self.t1.is_none() { 1 } else { 2 };
+            let key = (self.phase, want_step);
+            let Some(tid) = self.pending.remove(&key) else {
+                break;
+            };
+            self.step(want_step, tid, ctx);
+            if self.role != Role::Active {
+                break;
+            }
+        }
+    }
+
+    /// Executes one protocol step with an in-order message.
+    fn step(&mut self, step: u8, tid: u64, ctx: &mut Ctx<'_, PetersonMsg>) {
+        debug_assert_eq!(self.role, Role::Active);
+        if step == 1 {
+            // t1 = identity of nearest active predecessor.
+            if tid == self.tid {
+                // Our own identity survived the full circle: every other
+                // node is a relay.
+                self.role = Role::Leader;
+                ctx.count("elected", 1);
+                ctx.stop_network();
+                return;
+            }
+            self.t1 = Some(tid);
+            ctx.send(
+                OutPort(0),
+                PetersonMsg {
+                    phase: self.phase,
+                    step: 2,
+                    tid,
+                },
+            );
+        } else {
+            // t2 = identity of second-nearest active predecessor.
+            let t1 = self.t1.take().expect("step 2 only after step 1");
+            if t1 > self.tid && t1 > tid {
+                // Predecessor's identity is a local maximum: survive with it.
+                self.tid = t1;
+                self.phase += 1;
+                ctx.send(
+                    OutPort(0),
+                    PetersonMsg {
+                        phase: self.phase,
+                        step: 1,
+                        tid: self.tid,
+                    },
+                );
+            } else {
+                self.role = Role::Relay;
+                // Messages buffered for future phases are no longer ours to
+                // consume: forward them to the next active node downstream.
+                let pending = std::mem::take(&mut self.pending);
+                for ((phase, step), tid) in pending {
+                    ctx.send(OutPort(0), PetersonMsg { phase, step, tid });
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for Peterson {
+    type Message = PetersonMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, PetersonMsg>) {
+        ctx.send(
+            OutPort(0),
+            PetersonMsg {
+                phase: 0,
+                step: 1,
+                tid: self.tid,
+            },
+        );
+    }
+
+    fn on_message(&mut self, _from: InPort, msg: PetersonMsg, ctx: &mut Ctx<'_, PetersonMsg>) {
+        match self.role {
+            Role::Leader => {}
+            Role::Relay => ctx.send(OutPort(0), msg),
+            Role::Active => {
+                self.pending.insert((msg.phase, msg.step), msg.tid);
+                self.drain_pending(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_core::delay::{Deterministic, Exponential};
+    use abe_core::{NetworkBuilder, NetworkReport, Topology};
+    use abe_sim::RunLimits;
+
+    fn run_ring(
+        n: u32,
+        seed: u64,
+        ids: impl Fn(usize) -> u64,
+    ) -> (NetworkReport, Vec<Peterson>) {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+            .delay(Exponential::from_mean(1.0).unwrap())
+            .seed(seed)
+            .build(|i| Peterson::new(ids(i)))
+            .unwrap();
+        let (report, net) = net.run(RunLimits::events(10_000_000));
+        let protos = net.protocols().cloned().collect();
+        (report, protos)
+    }
+
+    #[test]
+    fn elects_exactly_one_leader() {
+        for seed in 0..20 {
+            let (report, protos) = run_ring(9, seed, |i| (i as u64 * 7) % 101 + 1);
+            assert!(report.outcome.is_stopped(), "seed {seed}");
+            assert_eq!(
+                protos.iter().filter(|p| p.is_leader()).count(),
+                1,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_elects_itself() {
+        let (report, protos) = run_ring(1, 0, |_| 42);
+        assert!(protos[0].is_leader());
+        assert_eq!(report.messages_sent, 1);
+    }
+
+    #[test]
+    fn two_nodes_elect_one() {
+        for seed in 0..10 {
+            let (_, protos) = run_ring(2, seed, |i| [5u64, 9][i]);
+            assert_eq!(protos.iter().filter(|p| p.is_leader()).count(), 1);
+        }
+    }
+
+    #[test]
+    fn phases_are_logarithmic() {
+        // At most ~log2(n) phases survive attrition.
+        let n = 64;
+        let (_, protos) = run_ring(n, 1, |i| i as u64 + 1);
+        let max_phase = protos.iter().map(|p| p.phase()).max().unwrap();
+        assert!(max_phase <= 8, "max phase {max_phase} too high for n=64");
+    }
+
+    #[test]
+    fn worst_case_messages_are_n_log_n_bounded() {
+        // Deterministic O(n log n): even adversarial orderings stay below
+        // c·n·log2(n) messages.
+        let n: u32 = 64;
+        for arrangement in [0usize, 1, 2] {
+            let ids = move |i: usize| match arrangement {
+                0 => i as u64 + 1,                       // ascending
+                1 => (n as usize - i) as u64,            // descending
+                _ => ((i as u64 * 37) % n as u64) + 1,   // shuffled-ish
+            };
+            let (report, _) = run_ring(n, 3, ids);
+            let bound = 4 * u64::from(n) * 6; // 4·n·log2(64)
+            assert!(
+                report.messages_sent < bound,
+                "arrangement {arrangement}: {} messages",
+                report.messages_sent
+            );
+        }
+    }
+
+    #[test]
+    fn works_with_deterministic_delay() {
+        let n = 16;
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+            .delay(Deterministic::new(1.0).unwrap())
+            .build(|i| Peterson::new(i as u64 + 1))
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        assert_eq!(net.protocols().filter(|p| p.is_leader()).count(), 1);
+    }
+
+    #[test]
+    fn reordering_is_tolerated() {
+        // High-variance delays reorder aggressively; phase/step buffering
+        // must keep the algorithm correct.
+        for seed in 0..20 {
+            let net = NetworkBuilder::new(Topology::unidirectional_ring(12).unwrap())
+                .delay(Exponential::from_mean(10.0).unwrap())
+                .seed(seed)
+                .build(|i| Peterson::new(i as u64 + 1))
+                .unwrap();
+            let (report, net) = net.run(RunLimits::events(10_000_000));
+            assert!(report.outcome.is_stopped(), "seed {seed}");
+            assert_eq!(
+                net.protocols().filter(|p| p.is_leader()).count(),
+                1,
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Convenience runners: one call from ring configuration to election
+//! outcome, with deterministic seeding and safety budgets.
+//!
+//! The experiment harness and integration tests both go through these, so
+//! measurement conventions (what counts as "time", when a run is considered
+//! terminated) live in exactly one place.
+
+use std::sync::Arc;
+
+use abe_core::clock::ClockSpec;
+use abe_core::delay::{Exponential, SharedDelay};
+use abe_core::{NetworkBuilder, NetworkReport, Topology};
+use abe_sim::{RunLimits, SeedStream};
+use rand::RngExt;
+
+use crate::abe::AbeElection;
+use crate::chang_roberts::ChangRoberts;
+use crate::fixed::FixedActivation;
+use crate::itai_rodeh::ItaiRodeh;
+use crate::peterson::Peterson;
+use crate::state::ElectionState;
+
+/// Configuration of one ring-election run.
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Ring size `n ≥ 1`.
+    pub n: u32,
+    /// Delay model applied to every ring edge.
+    pub delay: SharedDelay,
+    /// Clock population (defaults to perfect clocks).
+    pub clocks: ClockSpec,
+    /// Master seed for the run.
+    pub seed: u64,
+    /// FIFO channels (defaults to `false`: arbitrary reordering).
+    pub fifo: bool,
+    /// Event budget; runs exceeding it report `terminated = false`.
+    pub max_events: u64,
+}
+
+impl RingConfig {
+    /// A ring of size `n` with exponential delays of mean 1 and defaults
+    /// everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 1, "ring size must be at least 1");
+        Self {
+            n,
+            delay: Arc::new(Exponential::from_mean(1.0).expect("valid mean")),
+            clocks: ClockSpec::perfect(),
+            seed: 0,
+            fifo: false,
+            max_events: 5_000_000,
+        }
+    }
+
+    /// Replaces the delay model.
+    pub fn delay(mut self, delay: SharedDelay) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Replaces the clock specification.
+    pub fn clocks(mut self, clocks: ClockSpec) -> Self {
+        self.clocks = clocks;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables FIFO channels.
+    pub fn fifo(mut self, fifo: bool) -> Self {
+        self.fifo = fifo;
+        self
+    }
+
+    fn builder(&self) -> NetworkBuilder {
+        NetworkBuilder::new(
+            Topology::unidirectional_ring(self.n).expect("n >= 1 was validated"),
+        )
+        .delay_shared(Arc::clone(&self.delay))
+        .clocks(self.clocks)
+        .fifo(self.fifo)
+        .seed(self.seed)
+    }
+
+    fn limits(&self) -> RunLimits {
+        RunLimits::events(self.max_events)
+    }
+}
+
+/// Measured outcome of one election run.
+#[derive(Debug, Clone)]
+pub struct ElectionOutcome {
+    /// Whether a leader was elected within the event budget.
+    pub terminated: bool,
+    /// Number of nodes in the leader state (1 when correct).
+    pub leaders: usize,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Virtual time at election (seconds).
+    pub time: f64,
+    /// Local clock ticks dispatched.
+    pub ticks: u64,
+    /// The full network report (counters etc.).
+    pub report: NetworkReport,
+}
+
+impl ElectionOutcome {
+    fn from_report(report: NetworkReport, leaders: usize) -> Self {
+        Self {
+            terminated: report.outcome.is_stopped(),
+            leaders,
+            messages: report.messages_sent,
+            time: report.end_time.as_secs(),
+            ticks: report.ticks,
+            report,
+        }
+    }
+}
+
+/// Runs the paper's §3 algorithm with activation parameter `a0`.
+///
+/// # Panics
+///
+/// Panics if `a0` is outside `(0, 1)` (configuration error in the caller).
+pub fn run_abe(cfg: &RingConfig, a0: f64) -> ElectionOutcome {
+    let net = cfg
+        .builder()
+        .build(|_| AbeElection::new(cfg.n, a0).expect("a0 validated by caller"))
+        .expect("ring configuration is structurally valid");
+    let (report, net) = net.run(cfg.limits());
+    let leaders = net
+        .protocols()
+        .filter(|p| p.state() == ElectionState::Leader)
+        .count();
+    ElectionOutcome::from_report(report, leaders)
+}
+
+/// Runs the paper's §3 algorithm with `A0 = a / n²`, the calibration under
+/// which the linear time/message bounds hold (see
+/// [`AbeElection::calibrated`]).
+///
+/// # Panics
+///
+/// Panics if `a` is not finite and positive.
+pub fn run_abe_calibrated(cfg: &RingConfig, a: f64) -> ElectionOutcome {
+    let net = cfg
+        .builder()
+        .build(|_| AbeElection::calibrated(cfg.n, a).expect("a validated by caller"))
+        .expect("ring configuration is structurally valid");
+    let (report, net) = net.run(cfg.limits());
+    let leaders = net
+        .protocols()
+        .filter(|p| p.state() == ElectionState::Leader)
+        .count();
+    ElectionOutcome::from_report(report, leaders)
+}
+
+/// Runs the fixed-activation ablation with constant probability `a0`.
+///
+/// # Panics
+///
+/// Panics if `a0` is outside `(0, 1)`.
+pub fn run_fixed(cfg: &RingConfig, a0: f64) -> ElectionOutcome {
+    let net = cfg
+        .builder()
+        .build(|_| FixedActivation::new(cfg.n, a0).expect("a0 validated by caller"))
+        .expect("ring configuration is structurally valid");
+    let (report, net) = net.run(cfg.limits());
+    let leaders = net
+        .protocols()
+        .filter(|p| p.state() == ElectionState::Leader)
+        .count();
+    ElectionOutcome::from_report(report, leaders)
+}
+
+/// Runs Itai–Rodeh (anonymous asynchronous baseline).
+pub fn run_itai_rodeh(cfg: &RingConfig) -> ElectionOutcome {
+    let net = cfg
+        .builder()
+        .build(|_| ItaiRodeh::new(cfg.n).expect("n >= 1 was validated"))
+        .expect("ring configuration is structurally valid");
+    let (report, net) = net.run(cfg.limits());
+    let leaders = net.protocols().filter(|p| p.is_leader()).count();
+    ElectionOutcome::from_report(report, leaders)
+}
+
+/// Runs Chang–Roberts with a random unique-identity assignment derived
+/// from the config seed.
+pub fn run_chang_roberts(cfg: &RingConfig) -> ElectionOutcome {
+    let ids = random_permutation(cfg.n, cfg.seed);
+    let net = cfg
+        .builder()
+        .build(|i| ChangRoberts::new(ids[i]))
+        .expect("ring configuration is structurally valid");
+    let (report, net) = net.run(cfg.limits());
+    let leaders = net.protocols().filter(|p| p.is_leader()).count();
+    ElectionOutcome::from_report(report, leaders)
+}
+
+/// Runs Peterson's algorithm with a random unique-identity assignment
+/// derived from the config seed.
+pub fn run_peterson(cfg: &RingConfig) -> ElectionOutcome {
+    let ids = random_permutation(cfg.n, cfg.seed);
+    let net = cfg
+        .builder()
+        .build(|i| Peterson::new(ids[i]))
+        .expect("ring configuration is structurally valid");
+    let (report, net) = net.run(cfg.limits());
+    let leaders = net.protocols().filter(|p| p.is_leader()).count();
+    ElectionOutcome::from_report(report, leaders)
+}
+
+/// A uniformly random permutation of `1..=n` (Fisher–Yates) used as the
+/// identity assignment for identity-based baselines.
+pub fn random_permutation(n: u32, seed: u64) -> Vec<u64> {
+    let mut rng = SeedStream::new(seed).stream("identities", 0);
+    let mut ids: Vec<u64> = (1..=u64::from(n)).collect();
+    for i in (1..ids.len()).rev() {
+        let j = rng.random_range(0..=i);
+        ids.swap(i, j);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_runners_elect_exactly_one_leader() {
+        let cfg = RingConfig::new(8).seed(5);
+        for outcome in [
+            run_abe(&cfg, 0.3),
+            run_fixed(&cfg, 0.3),
+            run_itai_rodeh(&cfg),
+            run_chang_roberts(&cfg),
+            run_peterson(&cfg),
+        ] {
+            assert!(outcome.terminated);
+            assert_eq!(outcome.leaders, 1);
+            assert!(outcome.messages >= 1);
+            assert!(outcome.time > 0.0);
+        }
+    }
+
+    #[test]
+    fn outcome_reflects_report() {
+        let cfg = RingConfig::new(4).seed(1);
+        let o = run_abe(&cfg, 0.5);
+        assert_eq!(o.messages, o.report.messages_sent);
+        assert_eq!(o.time, o.report.end_time.as_secs());
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        for seed in 0..5 {
+            let mut ids = random_permutation(20, seed);
+            ids.sort_unstable();
+            assert_eq!(ids, (1..=20).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn permutation_differs_across_seeds() {
+        assert_ne!(random_permutation(20, 0), random_permutation(20, 1));
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = RingConfig::new(16).seed(9);
+        let a = run_abe(&cfg, 0.3);
+        let b = run_abe(&cfg, 0.3);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.time, b.time);
+    }
+
+    #[test]
+    fn fifo_flag_changes_executions() {
+        let base = RingConfig::new(16).seed(3);
+        let fifo = RingConfig::new(16).seed(3).fifo(true);
+        let a = run_itai_rodeh(&base);
+        let b = run_itai_rodeh(&fifo);
+        // Same seed, different delivery discipline: outcomes are both
+        // correct; the executions usually differ in message count or time.
+        assert_eq!(a.leaders, 1);
+        assert_eq!(b.leaders, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ring_panics() {
+        let _ = RingConfig::new(0);
+    }
+}

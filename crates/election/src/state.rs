@@ -1,0 +1,61 @@
+//! Node states shared by the ring-election algorithms.
+
+use std::fmt;
+
+/// The four node states of the paper's election algorithm (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ElectionState {
+    /// Not yet participating; flips an activation coin at every tick.
+    #[default]
+    Idle,
+    /// Originated a message and awaits its return (or a knockout).
+    Active,
+    /// Knocked out; forwards messages forever.
+    Passive,
+    /// Elected: its own message returned with hop counter `n`.
+    Leader,
+}
+
+impl ElectionState {
+    /// Whether this state may still change (leaders and passives are final
+    /// in a completed election; passives can never win).
+    pub fn is_decided(self) -> bool {
+        matches!(self, ElectionState::Leader | ElectionState::Passive)
+    }
+}
+
+impl fmt::Display for ElectionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ElectionState::Idle => "idle",
+            ElectionState::Active => "active",
+            ElectionState::Passive => "passive",
+            ElectionState::Leader => "leader",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_idle() {
+        assert_eq!(ElectionState::default(), ElectionState::Idle);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ElectionState::Idle.to_string(), "idle");
+        assert_eq!(ElectionState::Leader.to_string(), "leader");
+    }
+
+    #[test]
+    fn decided_states() {
+        assert!(!ElectionState::Idle.is_decided());
+        assert!(!ElectionState::Active.is_decided());
+        assert!(ElectionState::Passive.is_decided());
+        assert!(ElectionState::Leader.is_decided());
+    }
+}

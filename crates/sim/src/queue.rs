@@ -1,0 +1,345 @@
+//! Deterministic pending-event queue.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is a
+//! monotone counter assigned at scheduling time. Two events scheduled for the
+//! same instant therefore fire in scheduling order, which — together with
+//! seeded RNG streams — makes entire simulations bit-reproducible.
+//!
+//! Cancellation is *lazy*: [`EventQueue::cancel`] removes the token from the
+//! live set and the heap entry is discarded when it surfaces, keeping both
+//! operations cheap (`O(log n)` amortised for heap operations, `O(1)` for
+//! the set).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable to [`cancel`](EventQueue::cancel) it.
+///
+/// Tokens are unique for the lifetime of the queue that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventToken(u64);
+
+impl EventToken {
+    /// The raw sequence number backing this token (for diagnostics).
+    pub fn sequence(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event
+        // (smallest time, then smallest sequence) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Counters describing queue activity, exposed for kernel statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled over the queue's lifetime.
+    pub scheduled: u64,
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+    /// Events popped (delivered to the world).
+    pub popped: u64,
+}
+
+/// A priority queue of future events ordered by `(time, sequence)`.
+///
+/// # Examples
+///
+/// ```
+/// use abe_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2.0), "later");
+/// let tok = q.schedule(SimTime::from_secs(1.0), "sooner");
+/// assert_eq!(q.peek_time(), Some(SimTime::from_secs(1.0)));
+/// assert!(q.cancel(tok));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "later")));
+/// assert!(q.is_empty());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of scheduled-but-not-yet-fired, not-cancelled events.
+    pending: HashSet<u64>,
+    next_seq: u64,
+    stats: QueueStats,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// Returns a token that can later be passed to [`Self::cancel`].
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        self.stats.scheduled += 1;
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if self.pending.remove(&token.0) {
+            self.stats.cancelled += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event.
+    ///
+    /// Cancelled entries are skipped transparently.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                self.stats.popped += 1;
+                return Some((entry.time, entry.event));
+            }
+            // Stale (cancelled) entry: drop and continue.
+        }
+        None
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_stale();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drops cancelled entries sitting on top of the heap.
+    fn skim_stale(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Lifetime activity counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.pending.len())
+            .field("next_seq", &self.next_seq)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), 'c');
+        q.schedule(t(1.0), 'a');
+        q.schedule(t(2.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(t(1.0), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(1.0), "cancel-me");
+        q.schedule(t(2.0), "keep");
+        assert!(q.cancel(tok));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2.0), "keep")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(1.0), ());
+        q.schedule(t(5.0), ());
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok));
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(1.0), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(tok));
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventToken(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(1.0), 1);
+        q.schedule(t(2.0), 2);
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn len_tracks_live_entries() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stats_count_activity() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        q.cancel(a);
+        q.pop();
+        let s = q.stats();
+        assert_eq!(s.scheduled, 2);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.popped, 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tokens_are_unique_and_ordered() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        let b = q.schedule(t(1.0), ());
+        assert_ne!(a, b);
+        assert!(a.sequence() < b.sequence());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), 5);
+        q.schedule(t(1.0), 1);
+        assert_eq!(q.pop(), Some((t(1.0), 1)));
+        q.schedule(t(3.0), 3);
+        q.schedule(t(2.0), 2);
+        assert_eq!(q.pop(), Some((t(2.0), 2)));
+        assert_eq!(q.pop(), Some((t(3.0), 3)));
+        assert_eq!(q.pop(), Some((t(5.0), 5)));
+    }
+
+    #[test]
+    fn many_cancels_do_not_disturb_order() {
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        for i in 0..50 {
+            tokens.push(q.schedule(t(i as f64), i));
+        }
+        // Cancel every odd event.
+        for (i, tok) in tokens.iter().enumerate() {
+            if i % 2 == 1 {
+                q.cancel(*tok);
+            }
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..50).filter(|i| i % 2 == 0).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,388 @@
+//! Virtual-time primitives.
+//!
+//! The simulator measures time in abstract *seconds* represented as `f64`.
+//! Both [`SimTime`] (a point on the timeline) and [`SimDuration`] (a span)
+//! enforce the invariant **finite and non-negative** at construction, which
+//! makes their orderings total and lets them implement [`Ord`] safely.
+
+use std::error::Error;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Error returned when constructing a [`SimTime`] or [`SimDuration`] from a
+/// value that is negative, NaN, or infinite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTimeError {
+    /// The offending raw value, stored as bits so the error stays `Eq`.
+    bits: u64,
+}
+
+impl InvalidTimeError {
+    fn new(value: f64) -> Self {
+        Self {
+            bits: value.to_bits(),
+        }
+    }
+
+    /// The rejected raw value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits)
+    }
+}
+
+impl fmt::Display for InvalidTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "time value must be finite and non-negative, got {}",
+            self.value()
+        )
+    }
+}
+
+impl Error for InvalidTimeError {}
+
+/// A point in virtual time, in seconds since the start of the simulation.
+///
+/// `SimTime` is totally ordered; ties between events scheduled at the same
+/// time are broken by the event queue's monotone sequence number, so
+/// simulations are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use abe_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(1.5);
+/// assert_eq!(t.as_secs(), 1.5);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+/// A non-negative span of virtual time, in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use abe_sim::SimDuration;
+///
+/// let d = SimDuration::from_secs(2.0) + SimDuration::from_secs(0.5);
+/// assert_eq!(d.as_secs(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimDuration(f64);
+
+macro_rules! impl_time_common {
+    ($ty:ident) => {
+        impl $ty {
+            /// The origin (zero) value.
+            pub const ZERO: $ty = $ty(0.0);
+
+            /// Creates a value from seconds.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `secs` is negative, NaN, or infinite. Use
+            /// [`Self::try_from_secs`] for a fallible variant.
+            #[track_caller]
+            pub fn from_secs(secs: f64) -> Self {
+                match Self::try_from_secs(secs) {
+                    Ok(v) => v,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+
+            /// Creates a value from seconds, validating the input.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`InvalidTimeError`] if `secs` is negative, NaN, or
+            /// infinite.
+            pub fn try_from_secs(secs: f64) -> Result<Self, InvalidTimeError> {
+                if secs.is_finite() && secs >= 0.0 {
+                    Ok(Self(secs))
+                } else {
+                    Err(InvalidTimeError::new(secs))
+                }
+            }
+
+            /// Returns the value in seconds.
+            pub fn as_secs(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if this value is exactly zero.
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+        }
+
+        impl Eq for $ty {}
+
+        #[allow(clippy::derive_ord_xor_partial_ord)]
+        impl PartialOrd for $ty {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $ty {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Invariant: values are finite, so partial_cmp never fails.
+                self.0
+                    .partial_cmp(&other.0)
+                    .expect("invariant violated: non-finite time")
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}s", self.0)
+            }
+        }
+    };
+}
+
+impl_time_common!(SimTime);
+impl_time_common!(SimDuration);
+
+impl SimTime {
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[track_caller]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        match self.checked_duration_since(earlier) {
+            Some(d) => d,
+            None => panic!("duration_since: {earlier} is later than {self}"),
+        }
+    }
+
+    /// Duration elapsed since `earlier`, or `None` if `earlier > self`.
+    pub fn checked_duration_since(self, earlier: SimTime) -> Option<SimDuration> {
+        if earlier.0 <= self.0 {
+            Some(SimDuration(self.0 - earlier.0))
+        } else {
+            None
+        }
+    }
+
+    /// Duration elapsed since `earlier`, clamped at zero.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        self.checked_duration_since(earlier)
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+impl SimDuration {
+    /// Multiplies the duration by a non-negative finite factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be negative, NaN, or infinite.
+    #[track_caller]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 * factor)
+    }
+
+    /// Divides the duration by a positive finite divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be negative, NaN, or infinite (e.g. when
+    /// dividing by zero).
+    #[track_caller]
+    pub fn div_f64(self, divisor: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 / divisor)
+    }
+
+    /// Ratio of two durations as a plain number.
+    ///
+    /// Returns `None` when `other` is zero.
+    pub fn ratio(self, other: SimDuration) -> Option<f64> {
+        if other.is_zero() {
+            None
+        } else {
+            Some(self.0 / other.0)
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    #[track_caller]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    #[track_caller]
+    fn mul(self, rhs: f64) -> SimDuration {
+        self.mul_f64(rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    #[track_caller]
+    fn div(self, rhs: f64) -> SimDuration {
+        self.div_f64(rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl From<SimDuration> for SimTime {
+    fn from(d: SimDuration) -> SimTime {
+        SimTime(d.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimDuration::default(), SimDuration::ZERO);
+        assert!(SimTime::ZERO.is_zero());
+    }
+
+    #[test]
+    fn construction_accepts_finite_non_negative() {
+        assert_eq!(SimTime::from_secs(0.0).as_secs(), 0.0);
+        assert_eq!(SimTime::from_secs(12.25).as_secs(), 12.25);
+        assert!(SimDuration::try_from_secs(1e300).is_ok());
+    }
+
+    #[test]
+    fn construction_rejects_invalid() {
+        assert!(SimTime::try_from_secs(-1.0).is_err());
+        assert!(SimTime::try_from_secs(f64::NAN).is_err());
+        assert!(SimTime::try_from_secs(f64::INFINITY).is_err());
+        assert!(SimDuration::try_from_secs(-0.001).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_secs_panics_on_negative() {
+        let _ = SimTime::from_secs(-2.0);
+    }
+
+    #[test]
+    fn error_reports_value() {
+        let err = SimTime::try_from_secs(-3.5).unwrap_err();
+        assert_eq!(err.value(), -3.5);
+        assert!(err.to_string().contains("-3.5"));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(5.0);
+        let d = SimDuration::from_secs(2.5);
+        assert_eq!((t + d).as_secs(), 7.5);
+        assert_eq!((t + d).duration_since(t), d);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn duration_since_checked_and_saturating() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(3.0);
+        assert_eq!(b.checked_duration_since(a), Some(SimDuration::from_secs(2.0)));
+        assert_eq!(a.checked_duration_since(b), None);
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "later than")]
+    fn duration_since_panics_when_reversed() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(3.0);
+        let _ = a.duration_since(b);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let d = SimDuration::from_secs(4.0);
+        assert_eq!((d * 0.5).as_secs(), 2.0);
+        assert_eq!((d / 4.0).as_secs(), 1.0);
+        assert_eq!(d.ratio(SimDuration::from_secs(2.0)), Some(2.0));
+        assert_eq!(d.ratio(SimDuration::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn div_by_zero_panics() {
+        let _ = SimDuration::from_secs(1.0) / 0.0;
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(|i| SimDuration::from_secs(i as f64)).sum();
+        assert_eq!(total.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.5s");
+        assert_eq!(SimDuration::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(3.0);
+        assert_eq!(t.as_secs(), 3.0);
+        let mut d = SimDuration::from_secs(1.0);
+        d += SimDuration::from_secs(2.0);
+        assert_eq!(d.as_secs(), 3.0);
+    }
+}

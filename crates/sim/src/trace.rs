@@ -1,0 +1,187 @@
+//! Bounded execution tracing.
+//!
+//! [`TraceBuffer`] is a fixed-capacity ring buffer of timestamped records.
+//! Worlds push records while handling events; when the buffer overflows, the
+//! oldest records are dropped and counted, so tracing never grows memory
+//! unboundedly during long runs.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord<T> {
+    /// Virtual time at which the record was emitted.
+    pub time: SimTime,
+    /// The payload (typically a compact event description).
+    pub data: T,
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s.
+///
+/// # Examples
+///
+/// ```
+/// use abe_sim::{SimTime, TraceBuffer};
+///
+/// let mut trace = TraceBuffer::new(2);
+/// trace.push(SimTime::from_secs(1.0), "a");
+/// trace.push(SimTime::from_secs(2.0), "b");
+/// trace.push(SimTime::from_secs(3.0), "c"); // evicts "a"
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.dropped(), 1);
+/// let payloads: Vec<_> = trace.iter().map(|r| r.data).collect();
+/// assert_eq!(payloads, vec!["b", "c"]);
+/// ```
+#[derive(Clone)]
+pub struct TraceBuffer<T> {
+    records: VecDeque<TraceRecord<T>>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> TraceBuffer<T> {
+    /// Creates a buffer retaining at most `capacity` records.
+    ///
+    /// A capacity of zero disables recording entirely (every push is counted
+    /// as dropped), which lets callers keep trace calls in place at zero
+    /// memory cost.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if at capacity.
+    pub fn push(&mut self, time: SimTime, data: T) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { time, data });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records evicted or rejected since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord<T>> {
+        self.records.iter()
+    }
+
+    /// Drains the buffer into a `Vec`, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceRecord<T>> {
+        self.records.drain(..).collect()
+    }
+
+    /// Removes all records (the drop counter is preserved).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for TraceBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("len", &self.records.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn retains_in_order() {
+        let mut buf = TraceBuffer::new(10);
+        for i in 0..5 {
+            buf.push(t(i as f64), i);
+        }
+        let data: Vec<i32> = buf.iter().map(|r| r.data).collect();
+        assert_eq!(data, vec![0, 1, 2, 3, 4]);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn evicts_oldest_on_overflow() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..7 {
+            buf.push(t(i as f64), i);
+        }
+        let data: Vec<i32> = buf.iter().map(|r| r.data).collect();
+        assert_eq!(data, vec![4, 5, 6]);
+        assert_eq!(buf.dropped(), 4);
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_discards_everything() {
+        let mut buf = TraceBuffer::new(0);
+        buf.push(t(1.0), "x");
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn drain_empties_and_returns_records() {
+        let mut buf = TraceBuffer::new(4);
+        buf.push(t(1.0), 'a');
+        buf.push(t(2.0), 'b');
+        let drained = buf.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].time, t(1.0));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let mut buf = TraceBuffer::new(1);
+        buf.push(t(1.0), 1);
+        buf.push(t(2.0), 2);
+        assert_eq!(buf.dropped(), 1);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn records_carry_timestamps() {
+        let mut buf = TraceBuffer::new(2);
+        buf.push(t(1.5), "event");
+        let rec = buf.iter().next().unwrap();
+        assert_eq!(rec.time, t(1.5));
+        assert_eq!(rec.data, "event");
+    }
+}

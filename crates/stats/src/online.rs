@@ -1,0 +1,264 @@
+//! Online (single-pass) moment accumulation.
+//!
+//! Welford's algorithm: numerically stable running mean and variance with
+//! `O(1)` updates and exact merging of partial accumulators, so experiment
+//! repetitions can be aggregated without retaining raw samples.
+
+use std::fmt;
+
+/// Running mean/variance/min/max accumulator (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use abe_stats::Online;
+///
+/// let mut acc = Online::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.count(), 8);
+/// assert_eq!(acc.mean(), 5.0);
+/// assert_eq!(acc.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Online {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Online {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN (NaN would silently poison every statistic).
+    #[track_caller]
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot accumulate NaN");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divide by `n`); 0 with fewer than 1 sample.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divide by `n - 1`); 0 with fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Merges another accumulator into this one (Chan et al.).
+    pub fn merge(&mut self, other: &Online) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean = (self.count as f64 * self.mean + other.count as f64 * other.mean)
+            / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Online {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Online {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Online::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+impl fmt::Display for Online {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} ±{:.4} (95% CI)",
+            self.count,
+            self.mean,
+            self.ci95_half_width()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let acc = Online::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+        assert_eq!(acc.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let acc: Online = [3.5].into_iter().collect();
+        assert_eq!(acc.mean(), 3.5);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.min(), Some(3.5));
+        assert_eq!(acc.max(), Some(3.5));
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let xs: Vec<f64> = (1..=100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let acc: Online = xs.iter().copied().collect();
+        let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let naive_var =
+            xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((acc.mean() - naive_mean).abs() < 1e-10);
+        assert!((acc.sample_variance() - naive_var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.7).collect();
+        let ys: Vec<f64> = (0..30).map(|i| 100.0 - i as f64).collect();
+        let mut merged: Online = xs.iter().copied().collect();
+        let other: Online = ys.iter().copied().collect();
+        merged.merge(&other);
+        let all: Online = xs.iter().chain(ys.iter()).copied().collect();
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-10);
+        assert!((merged.sample_variance() - all.sample_variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), all.min());
+        assert_eq!(merged.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut acc: Online = [1.0, 2.0].into_iter().collect();
+        let before = acc;
+        acc.merge(&Online::new());
+        assert_eq!(acc, before);
+        let mut empty = Online::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        Online::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn ci_narrows_with_samples() {
+        let small: Online = (0..10).map(|i| i as f64).collect();
+        let large: Online = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn constant_series_has_zero_variance() {
+        let acc: Online = std::iter::repeat_n(4.2, 100).collect();
+        assert_eq!(acc.mean(), 4.2);
+        assert!(acc.sample_variance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_ci() {
+        let acc: Online = [1.0, 2.0, 3.0].into_iter().collect();
+        let s = acc.to_string();
+        assert!(s.contains("n=3"));
+        assert!(s.contains("mean=2.0000"));
+    }
+
+    #[test]
+    fn negative_values_accumulate() {
+        let acc: Online = [-5.0, 5.0].into_iter().collect();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), Some(-5.0));
+        assert_eq!(acc.max(), Some(5.0));
+    }
+}

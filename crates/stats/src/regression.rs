@@ -1,0 +1,334 @@
+//! Least-squares fitting and empirical complexity classification.
+//!
+//! The paper claims *linear* expected time and message complexity. To test
+//! that claim empirically we fit measured `(n, y)` series against candidate
+//! growth models — `c·n`, `c·n·log n`, `c·n²` — and report which fits best,
+//! plus plain OLS with `R²` for slope/intercept readouts.
+
+use std::fmt;
+
+/// Result of an ordinary least-squares line fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+/// Fits `y = intercept + slope·x` by ordinary least squares.
+///
+/// Returns `None` with fewer than two points or zero variance in `x`.
+///
+/// # Examples
+///
+/// ```
+/// use abe_stats::fit_line;
+///
+/// let points = [(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)];
+/// let fit = fit_line(&points).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Some(LineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits `ln y = intercept + exponent·ln x`, i.e. a power law `y = c·x^e`.
+///
+/// Useful for classifying growth: exponent ≈ 1 means linear, ≈ 2 quadratic.
+/// Points with non-positive coordinates are skipped.
+///
+/// Returns `None` if fewer than two usable points remain.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<LineFit> {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.0 > 0.0 && p.1 > 0.0)
+        .map(|p| (p.0.ln(), p.1.ln()))
+        .collect();
+    fit_line(&logged)
+}
+
+/// Candidate growth models for complexity classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrowthModel {
+    /// `y = c` (constant).
+    Constant,
+    /// `y = c·n`.
+    Linear,
+    /// `y = c·n·ln n`.
+    Linearithmic,
+    /// `y = c·n²`.
+    Quadratic,
+}
+
+impl GrowthModel {
+    /// All candidates, in increasing order of growth.
+    pub const ALL: [GrowthModel; 4] = [
+        GrowthModel::Constant,
+        GrowthModel::Linear,
+        GrowthModel::Linearithmic,
+        GrowthModel::Quadratic,
+    ];
+
+    /// The model's basis function evaluated at `n`.
+    pub fn basis(&self, n: f64) -> f64 {
+        match self {
+            GrowthModel::Constant => 1.0,
+            GrowthModel::Linear => n,
+            GrowthModel::Linearithmic => {
+                if n <= 1.0 {
+                    // ln 1 = 0 would make every scale fit; use the linear
+                    // continuation below n = e so tiny sizes stay usable.
+                    n
+                } else {
+                    n * n.ln()
+                }
+            }
+            GrowthModel::Quadratic => n * n,
+        }
+    }
+}
+
+impl fmt::Display for GrowthModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GrowthModel::Constant => "O(1)",
+            GrowthModel::Linear => "O(n)",
+            GrowthModel::Linearithmic => "O(n log n)",
+            GrowthModel::Quadratic => "O(n^2)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of fitting one [`GrowthModel`] through the origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthFit {
+    /// The model fitted.
+    pub model: GrowthModel,
+    /// Fitted scale constant `c`.
+    pub constant: f64,
+    /// Relative root-mean-square error of the fit.
+    pub rel_rmse: f64,
+}
+
+/// Fits each candidate growth model `y = c·basis(n)` (least squares through
+/// the origin) and returns all fits sorted best-first by relative RMSE.
+///
+/// Returns an empty vector when `points` is empty or degenerate.
+///
+/// # Examples
+///
+/// ```
+/// use abe_stats::{classify_growth, GrowthModel};
+///
+/// // Perfectly linear data must classify as O(n).
+/// let points: Vec<(f64, f64)> = (1..=10).map(|n| (n as f64, 3.0 * n as f64)).collect();
+/// let fits = classify_growth(&points);
+/// assert_eq!(fits[0].model, GrowthModel::Linear);
+/// assert!((fits[0].constant - 3.0).abs() < 1e-9);
+/// ```
+pub fn classify_growth(points: &[(f64, f64)]) -> Vec<GrowthFit> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut fits: Vec<GrowthFit> = GrowthModel::ALL
+        .iter()
+        .filter_map(|&model| {
+            // Least squares through origin: c = Σ b·y / Σ b².
+            let sb2: f64 = points.iter().map(|p| model.basis(p.0).powi(2)).sum();
+            if sb2 == 0.0 {
+                return None;
+            }
+            let sby: f64 = points.iter().map(|p| model.basis(p.0) * p.1).sum();
+            let c = sby / sb2;
+            let mse: f64 = points
+                .iter()
+                .map(|p| {
+                    let pred = c * model.basis(p.0);
+                    let denom = p.1.abs().max(1e-12);
+                    ((pred - p.1) / denom).powi(2)
+                })
+                .sum::<f64>()
+                / points.len() as f64;
+            Some(GrowthFit {
+                model,
+                constant: c,
+                rel_rmse: mse.sqrt(),
+            })
+        })
+        .collect();
+    fits.sort_by(|a, b| a.rel_rmse.total_cmp(&b.rel_rmse));
+    fits
+}
+
+/// Convenience: the best-fitting growth model for the series.
+pub fn best_growth(points: &[(f64, f64)]) -> Option<GrowthFit> {
+    classify_growth(points).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 2.5 * i as f64 - 4.0)).collect();
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert!((fit.intercept + 4.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(fit_line(&[]).is_none());
+        assert!(fit_line(&[(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn vertical_data_is_none() {
+        assert!(fit_line(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn noisy_line_has_high_r_squared() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.02);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=30)
+            .map(|i| (i as f64, 5.0 * (i as f64).powf(1.7)))
+            .collect();
+        let fit = fit_power_law(&pts).unwrap();
+        assert!((fit.slope - 1.7).abs() < 1e-9, "exponent {}", fit.slope);
+        assert!((fit.intercept.exp() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_skips_non_positive() {
+        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 2.0), (2.0, 4.0)];
+        assert!(fit_power_law(&pts).is_some());
+    }
+
+    #[test]
+    fn linear_data_classified_linear() {
+        let pts: Vec<(f64, f64)> = [8, 16, 32, 64, 128, 256]
+            .iter()
+            .map(|&n| (n as f64, 4.0 * n as f64))
+            .collect();
+        assert_eq!(best_growth(&pts).unwrap().model, GrowthModel::Linear);
+    }
+
+    #[test]
+    fn nlogn_data_classified_linearithmic() {
+        let pts: Vec<(f64, f64)> = [8, 16, 32, 64, 128, 256, 512]
+            .iter()
+            .map(|&n| {
+                let x = n as f64;
+                (x, 0.7 * x * x.ln())
+            })
+            .collect();
+        assert_eq!(best_growth(&pts).unwrap().model, GrowthModel::Linearithmic);
+    }
+
+    #[test]
+    fn quadratic_data_classified_quadratic() {
+        let pts: Vec<(f64, f64)> = [4, 8, 16, 32, 64]
+            .iter()
+            .map(|&n| (n as f64, 0.1 * (n * n) as f64))
+            .collect();
+        assert_eq!(best_growth(&pts).unwrap().model, GrowthModel::Quadratic);
+    }
+
+    #[test]
+    fn constant_data_classified_constant() {
+        let pts: Vec<(f64, f64)> = [4, 8, 16, 32].iter().map(|&n| (n as f64, 7.0)).collect();
+        assert_eq!(best_growth(&pts).unwrap().model, GrowthModel::Constant);
+    }
+
+    #[test]
+    fn noisy_linear_still_beats_nlogn() {
+        // 5% multiplicative noise must not flip the classification.
+        let pts: Vec<(f64, f64)> = [8, 16, 32, 64, 128, 256, 512, 1024]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let noise = 1.0 + if i % 2 == 0 { 0.05 } else { -0.05 };
+                (n as f64, 2.0 * n as f64 * noise)
+            })
+            .collect();
+        assert_eq!(best_growth(&pts).unwrap().model, GrowthModel::Linear);
+    }
+
+    #[test]
+    fn classify_growth_sorted_best_first() {
+        let pts: Vec<(f64, f64)> = (1..=8).map(|n| (n as f64, n as f64)).collect();
+        let fits = classify_growth(&pts);
+        for pair in fits.windows(2) {
+            assert!(pair[0].rel_rmse <= pair[1].rel_rmse);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty() {
+        assert!(classify_growth(&[]).is_empty());
+        assert!(best_growth(&[]).is_none());
+    }
+
+    #[test]
+    fn growth_model_display() {
+        assert_eq!(GrowthModel::Linear.to_string(), "O(n)");
+        assert_eq!(GrowthModel::Linearithmic.to_string(), "O(n log n)");
+    }
+
+    #[test]
+    fn basis_handles_small_n() {
+        // n·ln n is 0 at n=1; the basis must stay usable there.
+        assert!(GrowthModel::Linearithmic.basis(1.0) > 0.0);
+        assert_eq!(GrowthModel::Quadratic.basis(3.0), 9.0);
+    }
+}

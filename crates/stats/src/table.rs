@@ -1,0 +1,257 @@
+//! ASCII table rendering for experiment output.
+//!
+//! The benchmark harness prints paper-style tables; this builder keeps the
+//! formatting in one place (aligned columns, markdown-compatible output).
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple column-aligned table builder.
+///
+/// # Examples
+///
+/// ```
+/// use abe_stats::Table;
+///
+/// let mut t = Table::new(&["n", "messages"]);
+/// t.row(&["8", "31.2"]);
+/// t.row(&["16", "63.9"]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("| n"));
+/// assert!(rendered.contains("63.9"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers (numbers default to
+    /// right alignment from the second column on).
+    pub fn new(headers: &[&str]) -> Self {
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides column alignments (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligns.len()` differs from the number of columns.
+    pub fn aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row (missing cells render empty; extra cells are kept and
+    /// widen the table).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quotes cells containing
+    /// commas, quotes, or newlines).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use abe_stats::Table;
+    ///
+    /// let mut t = Table::new(&["n", "label"]);
+    /// t.row(&["1", "plain"]);
+    /// t.row(&["2", "with, comma"]);
+    /// let csv = t.to_csv();
+    /// assert!(csv.starts_with("n,label\n"));
+    /// assert!(csv.contains("\"with, comma\""));
+    /// ```
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        render(&self.headers, &mut out);
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        (0..cols)
+            .map(|c| {
+                let head = self.headers.get(c).map_or(0, String::len);
+                let body = self.rows.iter().map(|r| r.get(c).map_or(0, String::len));
+                body.chain(std::iter::once(head)).max().unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, width) in widths.iter().enumerate() {
+                let cell = cells.get(c).map_or("", String::as_str);
+                let align = self.aligns.get(c).copied().unwrap_or_default();
+                match align {
+                    Align::Left => write!(f, " {cell:<width$} |")?,
+                    Align::Right => write!(f, " {cell:>width$} |")?,
+                }
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &widths {
+            write!(f, "{}|", "-".repeat(width + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_style() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha", "1"]);
+        t.row(&["beta", "22"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| name"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("alpha"));
+        // Right-aligned numeric column.
+        assert!(lines[3].contains(" 22 |"));
+    }
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let mut t = Table::new(&["x"]);
+        t.row(&["longer-cell"]);
+        let s = t.to_string();
+        for line in s.lines() {
+            assert_eq!(line.len(), s.lines().next().unwrap().len());
+        }
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-a"]);
+        let s = t.to_string();
+        assert!(s.contains("only-a"));
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = Table::new(&["n", "label"]).aligns(&[Align::Right, Align::Left]);
+        t.row(&["7", "x"]);
+        let s = t.to_string();
+        assert!(s.contains("| 7 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment count")]
+    fn wrong_alignment_count_panics() {
+        let _ = Table::new(&["a"]).aligns(&[Align::Left, Align::Right]);
+    }
+
+    #[test]
+    fn row_count_tracks() {
+        let mut t = Table::new(&["a"]);
+        assert_eq!(t.row_count(), 0);
+        t.row(&["1"]).row(&["2"]);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_plain_cells_unquoted() {
+        let mut t = Table::new(&["n"]);
+        t.row(&["42"]);
+        assert_eq!(t.to_csv(), "n\n42\n");
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(12345.6), "12346");
+        assert_eq!(fmt_num(45.67), "45.7");
+        assert_eq!(fmt_num(3.456), "3.46");
+        assert_eq!(fmt_num(0.1234), "0.1234");
+    }
+}

@@ -1,0 +1,264 @@
+//! The ABD synchroniser (after Tel, Korach, Zaks): **clock-driven pulses,
+//! zero control messages** — and the reason it cannot survive in ABE
+//! networks.
+//!
+//! In an ABD network the delay of every message is bounded by a known `B`,
+//! so a node may fire pulse `r + 1` simply by waiting long enough on its
+//! local clock: with clock rates in `[s_low, s_high]` a local wait of
+//! `Φ ≥ (B + γ) · s_high / s_low`-ish local units guarantees every round-`r`
+//! message has landed. No acknowledgements, no safe-messages — the paper's
+//! §2 calls this "the more efficient ABD synchroniser".
+//!
+//! In an ABE network the *same* construction is unsound: delays are only
+//! bounded in expectation, so for **every** finite pulse interval some
+//! messages arrive after the receiver has moved on. [`AbdSynchronizer`]
+//! counts these **violations** (experiment E7): under a bounded-delay model
+//! the violation rate drops to exactly 0 once `Φ` clears the bound, while
+//! under an unbounded-expectation model (exponential, Pareto, ...) it
+//! remains positive for every `Φ` — the empirical content of the model
+//! separation ABD ⊊ ABE.
+
+use std::fmt;
+
+use abe_core::{Ctx, InPort, OutPort, Protocol};
+use abe_sim::Xoshiro256PlusPlus;
+
+use crate::pulse::{PulseCtx, PulseProtocol, RoundInbox};
+
+/// Counter names emitted by [`AbdSynchronizer`].
+pub mod counters {
+    /// Pulses fired (summed over nodes).
+    pub const PULSES: &str = "pulses";
+    /// Messages that arrived after their round had already been closed.
+    pub const VIOLATIONS: &str = "violations";
+    /// Application messages sent.
+    pub const APP_MESSAGES: &str = "app-messages";
+}
+
+/// A round-stamped application message.
+#[derive(Debug, Clone)]
+pub struct AbdEnvelope<M> {
+    /// The round in which the message was sent.
+    pub round: u64,
+    /// The application payload.
+    pub msg: M,
+}
+
+/// Clock-driven synchroniser: fires a pulse every `tick` of the network's
+/// tick interval (configure the interval via
+/// [`NetworkBuilder::tick_interval`](abe_core::NetworkBuilder::tick_interval)
+/// — that *is* the pulse spacing `Φ` in local clock units).
+///
+/// Round-`r` messages arriving after pulse `r + 1` has fired are counted
+/// as violations and dropped (the synchronous abstraction already broke).
+pub struct AbdSynchronizer<P: PulseProtocol> {
+    app: P,
+    max_rounds: u64,
+    /// Next pulse to fire.
+    next_round: u64,
+    inbox: RoundInbox<P::Message>,
+    violations: u64,
+}
+
+impl<P: PulseProtocol> AbdSynchronizer<P> {
+    /// Wraps `app`, firing `max_rounds` pulses.
+    pub fn new(app: P, max_rounds: u64) -> Self {
+        Self {
+            app,
+            max_rounds,
+            next_round: 0,
+            inbox: RoundInbox::new(),
+            violations: 0,
+        }
+    }
+
+    /// The wrapped application.
+    pub fn app(&self) -> &P {
+        &self.app
+    }
+
+    /// Late messages observed by this node.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Pulses fired so far.
+    pub fn pulses_fired(&self) -> u64 {
+        self.next_round
+    }
+}
+
+impl<P: PulseProtocol> Protocol for AbdSynchronizer<P> {
+    type Message = AbdEnvelope<P::Message>;
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Message>) {
+        if self.next_round >= self.max_rounds {
+            return;
+        }
+        let round = self.next_round;
+        self.next_round += 1;
+        // Deliver everything that arrived for the previous round; messages
+        // for that round arriving later are violations.
+        let inbox = self.inbox.take(round.wrapping_sub(1));
+        let (sends, stop) = {
+            let mut pctx = PulseCtx::new(
+                round,
+                ctx.network_size(),
+                ctx.out_degree(),
+                ctx.in_degree(),
+                ctx.rng(),
+            );
+            self.app.on_pulse(round, &inbox, &mut pctx);
+            pctx.into_effects()
+        };
+        ctx.count(counters::PULSES, 1);
+        ctx.count(counters::APP_MESSAGES, sends.len() as u64);
+        for (port, msg) in sends {
+            ctx.send(OutPort(port.0), AbdEnvelope { round, msg });
+        }
+        if stop {
+            ctx.stop_network();
+            self.next_round = self.max_rounds;
+        }
+    }
+
+    fn on_message(&mut self, from: InPort, envelope: AbdEnvelope<P::Message>, ctx: &mut Ctx<'_, Self::Message>) {
+        // A round-r message is on time while the receiver has not yet fired
+        // pulse r+1 (i.e. next_round <= r+1).
+        if self.next_round > envelope.round + 1 {
+            self.violations += 1;
+            ctx.count(counters::VIOLATIONS, 1);
+            return;
+        }
+        self.inbox.push(envelope.round, from, vec![envelope.msg]);
+    }
+
+    fn wants_tick(&self) -> bool {
+        self.next_round < self.max_rounds
+    }
+
+    fn tick_stride(&mut self, _rng: &mut Xoshiro256PlusPlus) -> u64 {
+        1
+    }
+}
+
+impl<P: PulseProtocol + fmt::Debug> fmt::Debug for AbdSynchronizer<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbdSynchronizer")
+            .field("next_round", &self.next_round)
+            .field("violations", &self.violations)
+            .field("app", &self.app)
+            .finish()
+    }
+}
+
+/// A pulse application that talks every round on every port — the densest
+/// traffic pattern, used to probe synchroniser soundness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Chatter;
+
+impl PulseProtocol for Chatter {
+    type Message = u64;
+
+    fn on_pulse(&mut self, round: u64, _inbox: &[(InPort, u64)], ctx: &mut PulseCtx<'_, u64>) {
+        for p in 0..ctx.out_degree() {
+            ctx.send(OutPort(p), round);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_core::clock::ClockSpec;
+    use abe_core::delay::{Deterministic, Exponential};
+    use abe_core::{NetworkBuilder, Topology};
+    use abe_sim::RunLimits;
+
+    fn run_chatter(
+        delay_bounded: bool,
+        phi: f64,
+        rounds: u64,
+        seed: u64,
+    ) -> abe_core::NetworkReport {
+        let topo = Topology::unidirectional_ring(8).unwrap();
+        let builder = NetworkBuilder::new(topo)
+            .clocks(ClockSpec::perfect())
+            .tick_interval(phi)
+            .seed(seed);
+        let builder = if delay_bounded {
+            builder.delay(Deterministic::new(1.0).unwrap())
+        } else {
+            builder.delay(Exponential::from_mean(1.0).unwrap())
+        };
+        let net = builder
+            .build(|_| AbdSynchronizer::new(Chatter, rounds))
+            .unwrap();
+        let (report, _) = net.run(RunLimits::unbounded());
+        report
+    }
+
+    #[test]
+    fn bounded_delay_with_ample_interval_has_zero_violations() {
+        // Deterministic delay 1.0, pulse interval 2.0 > bound: sound.
+        let report = run_chatter(true, 2.0, 50, 1);
+        assert_eq!(report.counter(counters::VIOLATIONS), 0);
+        assert_eq!(report.counter(counters::PULSES), 8 * 50);
+    }
+
+    #[test]
+    fn bounded_delay_with_tight_interval_violates() {
+        // Pulse interval 0.5 < delay bound 1.0: round r messages land
+        // after pulse r+1 — violations guaranteed.
+        let report = run_chatter(true, 0.5, 50, 2);
+        assert!(report.counter(counters::VIOLATIONS) > 0);
+    }
+
+    #[test]
+    fn unbounded_delay_violates_at_any_interval() {
+        // The ABE separation: exponential delay has unbounded support, so
+        // even a pulse interval of 8x the mean sees stragglers.
+        let report = run_chatter(false, 8.0, 200, 3);
+        assert!(
+            report.counter(counters::VIOLATIONS) > 0,
+            "exponential delays must eventually beat any finite interval"
+        );
+    }
+
+    #[test]
+    fn violation_rate_decreases_with_interval() {
+        let rate = |phi: f64| {
+            let report = run_chatter(false, phi, 200, 4);
+            report.counter(counters::VIOLATIONS) as f64
+                / report.counter(counters::APP_MESSAGES).max(1) as f64
+        };
+        let tight = rate(1.0);
+        let loose = rate(6.0);
+        assert!(
+            loose < tight,
+            "rate should fall with the interval: phi=1 → {tight}, phi=6 → {loose}"
+        );
+    }
+
+    #[test]
+    fn max_rounds_bounds_the_run() {
+        let report = run_chatter(true, 2.0, 10, 5);
+        assert!(report.outcome.is_quiescent());
+        assert_eq!(report.counter(counters::PULSES), 80);
+    }
+
+    #[test]
+    fn violations_counted_per_node() {
+        let topo = Topology::unidirectional_ring(4).unwrap();
+        let net = NetworkBuilder::new(topo)
+            .tick_interval(0.25)
+            .delay(Deterministic::new(1.0).unwrap())
+            .seed(6)
+            .build(|_| AbdSynchronizer::new(Chatter, 20))
+            .unwrap();
+        let (report, net) = net.run(RunLimits::unbounded());
+        let per_node: u64 = net.protocols().map(|p| p.violations()).sum();
+        assert_eq!(per_node, report.counter(counters::VIOLATIONS));
+        assert!(per_node > 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Reusable pulse applications for synchroniser experiments.
+
+use abe_core::{InPort, OutPort};
+
+use crate::pulse::{PulseCtx, PulseProtocol};
+
+/// Pure heartbeat: counts pulses, never sends application messages.
+///
+/// Running it over a synchroniser measures the synchroniser's *bare* cost —
+/// the messages-per-round floor of Theorem 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heartbeat {
+    pulses: u64,
+}
+
+impl Heartbeat {
+    /// Creates a heartbeat app.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pulses observed so far.
+    pub fn pulses(&self) -> u64 {
+        self.pulses
+    }
+}
+
+impl PulseProtocol for Heartbeat {
+    type Message = ();
+
+    fn on_pulse(&mut self, _round: u64, _inbox: &[(InPort, ())], _ctx: &mut PulseCtx<'_, ()>) {
+        self.pulses += 1;
+    }
+}
+
+/// Synchronous flooding broadcast: informed nodes announce once to all
+/// neighbours; on a synchronous network node `v` learns the value exactly
+/// at round `dist(source, v)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Flood {
+    informed_at: Option<u64>,
+    announced: bool,
+}
+
+impl Flood {
+    /// Creates a node; `source` nodes start informed (at round 0).
+    pub fn new(source: bool) -> Self {
+        Self {
+            informed_at: if source { Some(0) } else { None },
+            announced: false,
+        }
+    }
+
+    /// The round at which this node learnt the value, if it has.
+    pub fn informed_at(&self) -> Option<u64> {
+        self.informed_at
+    }
+}
+
+impl PulseProtocol for Flood {
+    type Message = ();
+
+    fn on_pulse(&mut self, round: u64, inbox: &[(InPort, ())], ctx: &mut PulseCtx<'_, ()>) {
+        if !inbox.is_empty() && self.informed_at.is_none() {
+            self.informed_at = Some(round);
+        }
+        if self.informed_at.is_some() && !self.announced {
+            self.announced = true;
+            for p in 0..ctx.out_degree() {
+                ctx.send(OutPort(p), ());
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.announced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulse::SyncRunner;
+    use abe_core::Topology;
+
+    #[test]
+    fn heartbeat_counts_pulses() {
+        let mut runner = SyncRunner::new(Topology::complete(3).unwrap(), 0, |_| Heartbeat::new());
+        runner.run(7);
+        for p in runner.protocols() {
+            assert_eq!(p.pulses(), 7);
+        }
+    }
+
+    #[test]
+    fn flood_reaches_nodes_at_bfs_distance() {
+        let topo = Topology::torus(4, 4).unwrap();
+        let distances = topo.bfs_distances(abe_core::topology::NodeId::new(0));
+        let mut runner = SyncRunner::new(topo, 0, |i| Flood::new(i == 0));
+        runner.run(100);
+        for (i, p) in runner.protocols().enumerate() {
+            assert_eq!(
+                p.informed_at(),
+                distances[i].map(u64::from),
+                "node {i} informed at wrong round"
+            );
+        }
+    }
+
+    #[test]
+    fn flood_message_count_is_edge_count() {
+        // Every node announces exactly once on each out-edge.
+        let topo = Topology::bidirectional_ring(6).unwrap();
+        let edges = topo.edge_count() as u64;
+        let mut runner = SyncRunner::new(topo, 0, |i| Flood::new(i == 0));
+        let report = runner.run(100);
+        assert_eq!(report.messages, edges);
+    }
+}

@@ -1,0 +1,251 @@
+//! Synchronous Itai–Rodeh election as a [`PulseProtocol`].
+//!
+//! The paper's §1 benchmarks its ABE election against "the most optimal
+//! leader election algorithms known for anonymous, synchronous rings
+//! (Itai–Rodeh)". This module provides that reference point: the
+//! round-based Itai–Rodeh election, runnable
+//!
+//! * natively on [`SyncRunner`](crate::SyncRunner) (experiment E12 — the
+//!   synchronous gold standard), and
+//! * over a synchroniser on an ABE network (experiment E11 — where
+//!   Theorem 1's `≥ n` messages/round overhead destroys the message
+//!   complexity, which is precisely the paper's point).
+
+use abe_core::{InPort, OutPort};
+use rand::RngExt;
+
+use crate::pulse::{PulseCtx, PulseProtocol};
+use crate::InvalidSyncConfigError;
+
+/// Token circulated by the synchronous Itai–Rodeh election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrSyncToken {
+    /// Identity drawn for this phase.
+    pub id: u32,
+    /// Phase number.
+    pub phase: u32,
+    /// Hops travelled.
+    pub hop: u32,
+    /// True while no identity collision has been seen.
+    pub bit: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Active,
+    Passive,
+    Leader,
+}
+
+/// One node of the synchronous Itai–Rodeh election (unidirectional ring,
+/// known size `n`, one token hop per round).
+#[derive(Debug, Clone)]
+pub struct IrSync {
+    n: u32,
+    role: Role,
+    id: u32,
+    phase: u32,
+    phases_started: u64,
+}
+
+impl IrSync {
+    /// Creates one ring node knowing ring size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0`.
+    pub fn new(n: u32) -> Result<Self, InvalidSyncConfigError> {
+        if n == 0 {
+            return Err(InvalidSyncConfigError::new("n", "must be at least 1"));
+        }
+        Ok(Self {
+            n,
+            role: Role::Active,
+            id: 0,
+            phase: 1,
+            phases_started: 0,
+        })
+    }
+
+    /// Whether this node won the election.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Number of phases this node initiated.
+    pub fn phases_started(&self) -> u64 {
+        self.phases_started
+    }
+
+    fn launch_token(&mut self, ctx: &mut PulseCtx<'_, IrSyncToken>) {
+        self.phases_started += 1;
+        self.id = ctx.rng().random_range(1..=self.n);
+        ctx.send(
+            OutPort(0),
+            IrSyncToken {
+                id: self.id,
+                phase: self.phase,
+                hop: 1,
+                bit: true,
+            },
+        );
+    }
+}
+
+impl PulseProtocol for IrSync {
+    type Message = IrSyncToken;
+
+    fn on_pulse(
+        &mut self,
+        round: u64,
+        inbox: &[(InPort, IrSyncToken)],
+        ctx: &mut PulseCtx<'_, IrSyncToken>,
+    ) {
+        if round == 0 {
+            self.launch_token(ctx);
+            return;
+        }
+        for &(_, token) in inbox {
+            match self.role {
+                Role::Leader => {}
+                Role::Passive => ctx.send(
+                    OutPort(0),
+                    IrSyncToken {
+                        hop: token.hop + 1,
+                        ..token
+                    },
+                ),
+                Role::Active => {
+                    let mine = (self.phase, self.id);
+                    let theirs = (token.phase, token.id);
+                    if token.hop == self.n && theirs == mine {
+                        if token.bit {
+                            self.role = Role::Leader;
+                            ctx.request_stop();
+                        } else {
+                            self.phase += 1;
+                            self.launch_token(ctx);
+                        }
+                    } else if theirs > mine {
+                        self.role = Role::Passive;
+                        ctx.send(
+                            OutPort(0),
+                            IrSyncToken {
+                                hop: token.hop + 1,
+                                ..token
+                            },
+                        );
+                    } else if theirs < mine {
+                        // Purge dominated token.
+                    } else {
+                        // Identity collision within the phase.
+                        ctx.send(
+                            OutPort(0),
+                            IrSyncToken {
+                                hop: token.hop + 1,
+                                bit: false,
+                                ..token
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.role == Role::Leader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulse::SyncRunner;
+    use abe_core::Topology;
+
+    fn run_native(n: u32, seed: u64) -> (crate::SyncReport, usize) {
+        let mut runner = SyncRunner::new(
+            Topology::unidirectional_ring(n).unwrap(),
+            seed,
+            |_| IrSync::new(n).unwrap(),
+        );
+        let report = runner.run(100_000);
+        let leaders = runner.protocols().filter(|p| p.is_leader()).count();
+        (report, leaders)
+    }
+
+    #[test]
+    fn rejects_zero_nodes() {
+        assert!(IrSync::new(0).is_err());
+    }
+
+    #[test]
+    fn elects_exactly_one_leader_natively() {
+        for seed in 0..30 {
+            let (report, leaders) = run_native(8, seed);
+            assert_eq!(leaders, 1, "seed {seed}");
+            assert!(report.stopped, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_node_wins_in_one_phase() {
+        let (report, leaders) = run_native(1, 3);
+        assert_eq!(leaders, 1);
+        assert_eq!(report.messages, 1);
+    }
+
+    #[test]
+    fn phases_take_about_n_rounds() {
+        // A single-phase election on a ring of n takes n+1 rounds (launch
+        // at round 0, token returns at round n). Multi-phase runs take
+        // multiples; either way rounds ≈ phases · n.
+        let n = 16;
+        for seed in 0..10 {
+            let (report, _) = run_native(n, seed);
+            assert!(report.rounds > n as u64, "seed {seed}");
+            assert_eq!(
+                (report.rounds - 1) % n as u64,
+                0,
+                "rounds-1 should be a multiple of n, got {} (seed {seed})",
+                report.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn expected_messages_linearish_in_n() {
+        // Itai–Rodeh on a *synchronous* ring has expected O(n) messages —
+        // the "most optimal" reference the paper compares against.
+        let per_node = |n: u32| {
+            let reps = 20;
+            let total: u64 = (0..reps).map(|s| run_native(n, s).0.messages).sum();
+            total as f64 / reps as f64 / n as f64
+        };
+        let small = per_node(16);
+        let large = per_node(128);
+        assert!(
+            large < small * 2.5,
+            "messages per node should not blow up: {small} → {large}"
+        );
+    }
+
+    #[test]
+    fn collisions_force_extra_phases() {
+        let mut saw_multi = false;
+        for seed in 0..40 {
+            let mut runner = SyncRunner::new(
+                Topology::unidirectional_ring(2).unwrap(),
+                seed,
+                |_| IrSync::new(2).unwrap(),
+            );
+            runner.run(100_000);
+            if runner.protocols().any(|p| p.phases_started() > 1) {
+                saw_multi = true;
+                break;
+            }
+        }
+        assert!(saw_multi);
+    }
+}

@@ -1,0 +1,99 @@
+//! # abe-sync — synchronisers for ABD and ABE networks
+//!
+//! Machinery around **Theorem 1** of *Bakhshi, Endrullis, Fokkink, Pang —
+//! "Asynchronous Bounded Expected Delay Networks" (PODC 2010)*: *ABE
+//! networks of size `n` cannot be synchronised with fewer than `n` messages
+//! per round* (the asynchronous impossibility of Awerbuch 1985 carries
+//! over, because every asynchronous execution is an ABE execution).
+//!
+//! The crate provides:
+//!
+//! * [`PulseProtocol`] / [`SyncRunner`] — synchronous-round algorithms and
+//!   their native (reference) executor;
+//! * [`GraphSynchronizer`] — a correct synchroniser for ABE networks that
+//!   pays exactly one envelope per edge per round: `n` messages/round on a
+//!   unidirectional ring (meeting the Theorem 1 floor with equality),
+//!   `m ≥ n` in general;
+//! * [`AbdSynchronizer`] — the message-free, clock-driven ABD synchroniser
+//!   (Tel–Korach–Zaks), plus violation counting that demonstrates why it is
+//!   unsound in ABE networks (experiment E7);
+//! * [`IrSync`] — synchronous Itai–Rodeh election, the paper's reference
+//!   point for anonymous synchronous rings (experiments E11/E12);
+//! * [`Heartbeat`] / [`Flood`] — measurement applications.
+//!
+//! ## Example: the Theorem 1 floor on a ring
+//!
+//! ```
+//! use abe_core::delay::Exponential;
+//! use abe_core::{NetworkBuilder, Topology};
+//! use abe_sim::RunLimits;
+//! use abe_sync::{GraphSynchronizer, Heartbeat};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 8u64;
+//! let rounds = 10u64;
+//! let net = NetworkBuilder::new(Topology::unidirectional_ring(n as u32)?)
+//!     .delay(Exponential::from_mean(1.0)?)
+//!     .build(|_| GraphSynchronizer::new(Heartbeat::new(), rounds))?;
+//! let (report, _) = net.run(RunLimits::unbounded());
+//! // One envelope per node per round (none after the final pulse):
+//! assert_eq!(report.messages_sent, n * (rounds - 1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::error::Error;
+use std::fmt;
+
+mod abd_sync;
+mod apps;
+mod graph_sync;
+mod ir_sync;
+mod pulse;
+
+pub use abd_sync::{counters as abd_counters, AbdEnvelope, AbdSynchronizer, Chatter};
+pub use apps::{Flood, Heartbeat};
+pub use graph_sync::{counters as sync_counters, GraphSynchronizer, SyncEnvelope};
+pub use ir_sync::{IrSync, IrSyncToken};
+pub use pulse::{PulseCtx, PulseProtocol, SyncReport, SyncRunner};
+
+/// Error returned when a synchroniser parameter is outside its domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidSyncConfigError {
+    param: &'static str,
+    constraint: &'static str,
+}
+
+impl InvalidSyncConfigError {
+    /// Creates an error for `param` violating `constraint`.
+    pub fn new(param: &'static str, constraint: &'static str) -> Self {
+        Self { param, constraint }
+    }
+}
+
+impl fmt::Display for InvalidSyncConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid synchroniser parameter `{}`: {}",
+            self.param, self.constraint
+        )
+    }
+}
+
+impl Error for InvalidSyncConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = InvalidSyncConfigError::new("n", "must be at least 1");
+        assert!(e.to_string().contains("`n`"));
+    }
+}

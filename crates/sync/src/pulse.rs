@@ -1,0 +1,470 @@
+//! The synchronous-round programming model.
+//!
+//! A [`PulseProtocol`] is an algorithm written for a *synchronous* network:
+//! at every pulse (global round) a node consumes the messages sent to it in
+//! the previous round and emits messages for the next. The same protocol
+//! value can be executed
+//!
+//! * natively, by [`SyncRunner`] (lock-step rounds, no delays) — the
+//!   reference semantics; or
+//! * on an ABE network through a synchroniser
+//!   ([`GraphSynchronizer`](crate::GraphSynchronizer) or
+//!   [`AbdSynchronizer`](crate::AbdSynchronizer)), which is where
+//!   Theorem 1's `≥ n` messages-per-round cost materialises.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use abe_core::topology::Topology;
+use abe_core::{InPort, OutPort};
+use abe_sim::{SeedStream, Xoshiro256PlusPlus};
+
+/// Context handed to [`PulseProtocol::on_pulse`].
+pub struct PulseCtx<'a, M> {
+    round: u64,
+    network_size: u32,
+    out_degree: usize,
+    in_degree: usize,
+    rng: &'a mut Xoshiro256PlusPlus,
+    sends: Vec<(OutPort, M)>,
+    stop: bool,
+}
+
+impl<'a, M> PulseCtx<'a, M> {
+    pub(crate) fn new(
+        round: u64,
+        network_size: u32,
+        out_degree: usize,
+        in_degree: usize,
+        rng: &'a mut Xoshiro256PlusPlus,
+    ) -> Self {
+        Self {
+            round,
+            network_size,
+            out_degree,
+            in_degree,
+            rng,
+            sends: Vec::new(),
+            stop: false,
+        }
+    }
+
+    /// The current round number (0-based).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total number of nodes `n`.
+    pub fn network_size(&self) -> u32 {
+        self.network_size
+    }
+
+    /// Number of outgoing ports.
+    pub fn out_degree(&self) -> usize {
+        self.out_degree
+    }
+
+    /// Number of incoming ports.
+    pub fn in_degree(&self) -> usize {
+        self.in_degree
+    }
+
+    /// This node's private random stream.
+    pub fn rng(&mut self) -> &mut Xoshiro256PlusPlus {
+        self.rng
+    }
+
+    /// Emits a message for delivery at the next pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not below [`out_degree`](Self::out_degree).
+    #[track_caller]
+    pub fn send(&mut self, port: OutPort, msg: M) {
+        assert!(
+            port.0 < self.out_degree,
+            "send on {port} but node has out-degree {}",
+            self.out_degree
+        );
+        self.sends.push((port, msg));
+    }
+
+    /// Requests global termination after this round completes.
+    pub fn request_stop(&mut self) {
+        self.stop = true;
+    }
+
+    pub(crate) fn into_effects(self) -> (Vec<(OutPort, M)>, bool) {
+        (self.sends, self.stop)
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for PulseCtx<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PulseCtx")
+            .field("round", &self.round)
+            .field("sends", &self.sends)
+            .finish()
+    }
+}
+
+/// An algorithm expressed in synchronous rounds.
+///
+/// # Examples
+///
+/// A counter that spreads the maximum value seen (max-consensus):
+///
+/// ```
+/// use abe_core::{InPort, OutPort};
+/// use abe_sync::{PulseCtx, PulseProtocol};
+///
+/// #[derive(Debug)]
+/// struct MaxSpread {
+///     value: u64,
+///     changed: bool,
+/// }
+///
+/// impl PulseProtocol for MaxSpread {
+///     type Message = u64;
+///     fn on_pulse(
+///         &mut self,
+///         _round: u64,
+///         inbox: &[(InPort, u64)],
+///         ctx: &mut PulseCtx<'_, u64>,
+///     ) {
+///         let before = self.value;
+///         for (_, v) in inbox {
+///             self.value = self.value.max(*v);
+///         }
+///         self.changed = self.value != before || ctx.round() == 0;
+///         if self.changed {
+///             for p in 0..ctx.out_degree() {
+///                 ctx.send(OutPort(p), self.value);
+///             }
+///         }
+///     }
+///     fn is_done(&self) -> bool {
+///         !self.changed
+///     }
+/// }
+/// ```
+pub trait PulseProtocol {
+    /// The message type exchanged between pulses.
+    type Message: Clone + fmt::Debug;
+
+    /// Executes one round: `inbox` holds the messages sent to this node in
+    /// round `round - 1` (empty at round 0).
+    fn on_pulse(
+        &mut self,
+        round: u64,
+        inbox: &[(InPort, Self::Message)],
+        ctx: &mut PulseCtx<'_, Self::Message>,
+    );
+
+    /// Whether this node has locally terminated (stops the native runner
+    /// when all nodes are done and no messages are pending).
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Outcome of a [`SyncRunner`] execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Rounds executed (pulses fired per node).
+    pub rounds: u64,
+    /// Total application messages exchanged.
+    pub messages: u64,
+    /// Whether a node requested a global stop.
+    pub stopped: bool,
+    /// Whether the round limit was hit before quiescence.
+    pub hit_round_limit: bool,
+}
+
+/// Native lock-step executor for [`PulseProtocol`]s — the reference
+/// synchronous network (no delays, no clocks, no synchroniser cost).
+pub struct SyncRunner<P: PulseProtocol> {
+    topo: Topology,
+    nodes: Vec<P>,
+    rngs: Vec<Xoshiro256PlusPlus>,
+    /// Messages to deliver at the next pulse, per node.
+    inboxes: Vec<Vec<(InPort, P::Message)>>,
+    round: u64,
+    messages: u64,
+}
+
+impl<P: PulseProtocol> SyncRunner<P> {
+    /// Creates a runner over `topo`, instantiating one node per index.
+    pub fn new(topo: Topology, seed: u64, mut factory: impl FnMut(usize) -> P) -> Self {
+        let n = topo.node_count() as usize;
+        let seeds = SeedStream::new(seed);
+        Self {
+            nodes: (0..n).map(&mut factory).collect(),
+            rngs: (0..n).map(|i| seeds.stream("sync-node", i as u64)).collect(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            topo,
+            round: 0,
+            messages: 0,
+        }
+    }
+
+    /// Shared access to node `i`'s protocol state.
+    pub fn node(&self, i: usize) -> &P {
+        &self.nodes[i]
+    }
+
+    /// Iterates over all protocol states.
+    pub fn protocols(&self) -> impl Iterator<Item = &P> {
+        self.nodes.iter()
+    }
+
+    /// Executes one pulse on every node. Returns `true` if any node
+    /// requested a global stop.
+    pub fn pulse(&mut self) -> bool {
+        let n = self.nodes.len();
+        let mut next_inboxes: Vec<Vec<(InPort, P::Message)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut stop = false;
+        for i in 0..n {
+            let node_id = abe_core::topology::NodeId::new(i as u32);
+            let inbox = std::mem::take(&mut self.inboxes[i]);
+            let mut ctx = PulseCtx::new(
+                self.round,
+                self.topo.node_count(),
+                self.topo.out_degree(node_id),
+                self.topo.in_degree(node_id),
+                &mut self.rngs[i],
+            );
+            self.nodes[i].on_pulse(self.round, &inbox, &mut ctx);
+            let (sends, node_stop) = ctx.into_effects();
+            stop |= node_stop;
+            for (port, msg) in sends {
+                let edge = self.topo.out_edges(node_id)[port.0];
+                let dst = self.topo.edge(edge).dst;
+                let in_port = InPort(self.topo.in_port(edge));
+                next_inboxes[dst.index()].push((in_port, msg));
+                self.messages += 1;
+            }
+        }
+        self.inboxes = next_inboxes;
+        self.round += 1;
+        stop
+    }
+
+    /// Runs until every node is done and no messages are pending, a node
+    /// requests a stop, or `max_rounds` is reached.
+    pub fn run(&mut self, max_rounds: u64) -> SyncReport {
+        let mut stopped = false;
+        let mut hit_round_limit = false;
+        loop {
+            if self.round >= max_rounds {
+                hit_round_limit = true;
+                break;
+            }
+            let pending: usize = self.inboxes.iter().map(Vec::len).sum();
+            if self.round > 0 && pending == 0 && self.nodes.iter().all(|p| p.is_done()) {
+                break;
+            }
+            if self.pulse() {
+                stopped = true;
+                break;
+            }
+        }
+        SyncReport {
+            rounds: self.round,
+            messages: self.messages,
+            stopped,
+            hit_round_limit,
+        }
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Messages exchanged so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+impl<P: PulseProtocol + fmt::Debug> fmt::Debug for SyncRunner<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SyncRunner")
+            .field("round", &self.round)
+            .field("messages", &self.messages)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+/// Buffers messages by round for synchronisers running over asynchronous
+/// substrates, where a neighbour can run ahead.
+#[derive(Debug, Clone)]
+pub(crate) struct RoundInbox<M> {
+    buffers: BTreeMap<u64, Vec<(InPort, M)>>,
+    counts: BTreeMap<u64, usize>,
+}
+
+impl<M> RoundInbox<M> {
+    pub(crate) fn new() -> Self {
+        Self {
+            buffers: BTreeMap::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Records the arrival of one round-`r` envelope carrying `msgs`.
+    pub(crate) fn push(&mut self, round: u64, port: InPort, msgs: Vec<M>) {
+        let buf = self.buffers.entry(round).or_default();
+        for m in msgs {
+            buf.push((port, m));
+        }
+        *self.counts.entry(round).or_insert(0) += 1;
+    }
+
+    /// Number of round-`r` envelopes received so far.
+    pub(crate) fn envelopes(&self, round: u64) -> usize {
+        self.counts.get(&round).copied().unwrap_or(0)
+    }
+
+    /// Removes and returns the app messages buffered for `round`.
+    pub(crate) fn take(&mut self, round: u64) -> Vec<(InPort, M)> {
+        self.counts.remove(&round);
+        self.buffers.remove(&round).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_core::Topology;
+
+    /// Flood: node 0 knows a value; everyone learns it via the ring.
+    #[derive(Debug)]
+    struct Flood {
+        informed: bool,
+        announced: bool,
+    }
+
+    impl PulseProtocol for Flood {
+        type Message = u8;
+        fn on_pulse(&mut self, _round: u64, inbox: &[(InPort, u8)], ctx: &mut PulseCtx<'_, u8>) {
+            if !inbox.is_empty() {
+                self.informed = true;
+            }
+            if self.informed && !self.announced {
+                self.announced = true;
+                for p in 0..ctx.out_degree() {
+                    ctx.send(OutPort(p), 1);
+                }
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.announced
+        }
+    }
+
+    fn flood_runner(n: u32) -> SyncRunner<Flood> {
+        SyncRunner::new(
+            Topology::unidirectional_ring(n).unwrap(),
+            0,
+            |i| Flood {
+                informed: i == 0,
+                announced: false,
+            },
+        )
+    }
+
+    #[test]
+    fn flood_takes_n_rounds_on_ring() {
+        let mut runner = flood_runner(8);
+        let report = runner.run(100);
+        assert!(runner.protocols().all(|p| p.informed));
+        // Information travels one hop per round: node k learns the value
+        // at round k, the last node announces at round n-1, and its
+        // message drains in one further round.
+        assert_eq!(report.rounds, 9);
+        assert_eq!(report.messages, 8);
+        assert!(!report.hit_round_limit);
+    }
+
+    #[test]
+    fn round_limit_is_respected() {
+        let mut runner = flood_runner(64);
+        let report = runner.run(5);
+        assert!(report.hit_round_limit);
+        assert_eq!(report.rounds, 5);
+        assert!(!runner.protocols().all(|p| p.informed));
+    }
+
+    #[test]
+    fn stop_request_halts_runner() {
+        #[derive(Debug)]
+        struct StopAtThree;
+        impl PulseProtocol for StopAtThree {
+            type Message = ();
+            fn on_pulse(&mut self, round: u64, _inbox: &[(InPort, ())], ctx: &mut PulseCtx<'_, ()>) {
+                if round == 3 {
+                    ctx.request_stop();
+                }
+                // Keep traffic flowing so quiescence never fires first.
+                ctx.send(OutPort(0), ());
+            }
+        }
+        let mut runner = SyncRunner::new(
+            Topology::unidirectional_ring(4).unwrap(),
+            0,
+            |_| StopAtThree,
+        );
+        let report = runner.run(100);
+        assert!(report.stopped);
+        assert_eq!(report.rounds, 4); // rounds 0..=3 executed
+    }
+
+    #[test]
+    fn messages_counted_per_send() {
+        let mut runner = flood_runner(3);
+        let report = runner.run(10);
+        assert_eq!(report.messages, 3);
+    }
+
+    #[test]
+    fn pulse_ctx_send_validates_port() {
+        let mut rng = SeedStream::new(0).stream("x", 0);
+        let mut ctx: PulseCtx<'_, ()> = PulseCtx::new(0, 2, 1, 1, &mut rng);
+        ctx.send(OutPort(0), ());
+        let (sends, stop) = ctx.into_effects();
+        assert_eq!(sends.len(), 1);
+        assert!(!stop);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-degree")]
+    fn pulse_ctx_rejects_bad_port() {
+        let mut rng = SeedStream::new(0).stream("x", 0);
+        let mut ctx: PulseCtx<'_, ()> = PulseCtx::new(0, 2, 1, 1, &mut rng);
+        ctx.send(OutPort(3), ());
+    }
+
+    #[test]
+    fn round_inbox_buffers_by_round() {
+        let mut inbox: RoundInbox<u8> = RoundInbox::new();
+        inbox.push(1, InPort(0), vec![10, 11]);
+        inbox.push(0, InPort(0), vec![9]);
+        inbox.push(1, InPort(1), vec![]);
+        assert_eq!(inbox.envelopes(0), 1);
+        assert_eq!(inbox.envelopes(1), 2);
+        assert_eq!(inbox.take(0), vec![(InPort(0), 9)]);
+        assert_eq!(inbox.envelopes(0), 0);
+        let round1 = inbox.take(1);
+        assert_eq!(round1, vec![(InPort(0), 10), (InPort(0), 11)]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let r1 = flood_runner(16).run(100);
+        let r2 = flood_runner(16).run(100);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,275 @@
+//! The echo algorithm (propagation of information with feedback, PIF).
+//!
+//! A classic wave with **termination detection and convergecast**: the
+//! initiator floods a forward wave which implicitly builds a spanning tree
+//! (each node's parent is whoever informed it first); once a node has heard
+//! from *all* neighbours it reports back to its parent, aggregating a value
+//! up the tree. When the initiator has heard from all its neighbours the
+//! wave has provably terminated network-wide, and the aggregate equals the
+//! sum over all nodes — regardless of delays, reordering, or drift.
+//!
+//! Requires symmetric (bidirectional) links: replies travel along
+//! [`Ctx::reply_port`]. The run aborts at build time on asymmetric
+//! topologies via the first `expect` in `on_message`.
+
+use abe_core::{Ctx, InPort, OutPort, Protocol};
+
+/// Messages of the echo wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EchoMsg {
+    /// The forward wave.
+    Forward,
+    /// The feedback wave, carrying the subtree's aggregated value.
+    Echo(u64),
+}
+
+/// One node of the echo algorithm, aggregating `value` up the tree.
+///
+/// # Examples
+///
+/// ```
+/// use abe_core::delay::Exponential;
+/// use abe_core::{NetworkBuilder, Topology};
+/// use abe_sim::RunLimits;
+/// use abe_wave::{Echo, EchoMsg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Sum node indices over a torus, initiated by node 0.
+/// let net = NetworkBuilder::new(Topology::torus(4, 4)?)
+///     .delay(Exponential::from_mean(1.0)?)
+///     .seed(1)
+///     .build(|i| Echo::new(i == 0, i as u64))?;
+/// let (report, net) = net.run(RunLimits::unbounded());
+/// let total: u64 = (0..16).sum();
+/// assert_eq!(net.node(0).result(), Some(total));
+/// assert!(report.outcome.is_stopped());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Echo {
+    initiator: bool,
+    value: u64,
+    /// Port to the parent (whoever informed us first); `None` for the
+    /// initiator or before the wave arrives.
+    parent: Option<OutPort>,
+    /// Whether the forward wave has reached us (initiators start engaged).
+    engaged: bool,
+    /// Messages received so far (one per neighbour expected).
+    received: usize,
+    /// Aggregated value of our subtree so far (starts with our own).
+    partial: u64,
+    /// The final network-wide aggregate (initiator only).
+    result: Option<u64>,
+    /// Local time at which the wave completed here.
+    decided_at: Option<f64>,
+}
+
+impl Echo {
+    /// Creates a node contributing `value`; exactly one node must be the
+    /// initiator.
+    pub fn new(initiator: bool, value: u64) -> Self {
+        Self {
+            initiator,
+            value,
+            parent: None,
+            engaged: false,
+            received: 0,
+            partial: value,
+            result: None,
+            decided_at: None,
+        }
+    }
+
+    /// The network-wide aggregate (initiator, after termination).
+    pub fn result(&self) -> Option<u64> {
+        self.result
+    }
+
+    /// The out-port towards this node's spanning-tree parent.
+    pub fn parent_port(&self) -> Option<OutPort> {
+        self.parent
+    }
+
+    /// The value this node contributes to the aggregate.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Whether the wave has completed at this node.
+    pub fn is_done(&self) -> bool {
+        self.decided_at.is_some()
+    }
+
+    fn broadcast_forward(&self, ctx: &mut Ctx<'_, EchoMsg>, skip: Option<OutPort>) {
+        for p in 0..ctx.out_degree() {
+            if Some(OutPort(p)) != skip {
+                ctx.send(OutPort(p), EchoMsg::Forward);
+            }
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut Ctx<'_, EchoMsg>) {
+        if self.received < ctx.in_degree() {
+            return;
+        }
+        self.decided_at = Some(ctx.local_time());
+        if self.initiator {
+            self.result = Some(self.partial);
+            ctx.count("echo-complete", 1);
+            ctx.stop_network();
+        } else {
+            let parent = self.parent.expect("non-initiator has a parent when done");
+            ctx.send(parent, EchoMsg::Echo(self.partial));
+        }
+    }
+}
+
+impl Protocol for Echo {
+    type Message = EchoMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, EchoMsg>) {
+        if self.initiator {
+            self.engaged = true;
+            self.broadcast_forward(ctx, None);
+        }
+    }
+
+    fn on_message(&mut self, from: InPort, msg: EchoMsg, ctx: &mut Ctx<'_, EchoMsg>) {
+        if !self.engaged {
+            debug_assert!(matches!(msg, EchoMsg::Forward), "first contact is forward");
+            self.engaged = true;
+            let parent = ctx
+                .reply_port(from)
+                .expect("echo requires bidirectional links");
+            self.parent = Some(parent);
+            self.received += 1;
+            self.broadcast_forward(ctx, Some(parent));
+            self.maybe_finish(ctx);
+            return;
+        }
+        match msg {
+            EchoMsg::Forward => {
+                self.received += 1;
+            }
+            EchoMsg::Echo(subtotal) => {
+                self.partial += subtotal;
+                self.received += 1;
+            }
+        }
+        self.maybe_finish(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_core::delay::{Exponential, Pareto, Uniform};
+    use abe_core::{Network, NetworkBuilder, Topology};
+    use abe_sim::RunLimits;
+
+    fn run_echo(topo: Topology, seed: u64) -> (abe_core::NetworkReport, Network<Echo>) {
+        let net = NetworkBuilder::new(topo)
+            .delay(Exponential::from_mean(1.0).unwrap())
+            .seed(seed)
+            .build(|i| Echo::new(i == 0, i as u64))
+            .unwrap();
+        net.run(RunLimits::unbounded())
+    }
+
+    fn expected_sum(n: u64) -> u64 {
+        n * (n - 1) / 2
+    }
+
+    #[test]
+    fn aggregates_correctly_on_symmetric_topologies() {
+        for topo in [
+            Topology::bidirectional_ring(9).unwrap(),
+            Topology::torus(4, 4).unwrap(),
+            Topology::complete(7).unwrap(),
+            Topology::star(8).unwrap(),
+            Topology::line(6).unwrap(),
+        ] {
+            let n = u64::from(topo.node_count());
+            for seed in 0..5 {
+                let (report, net) = run_echo(topo.clone(), seed);
+                assert!(report.outcome.is_stopped(), "seed {seed}");
+                assert_eq!(net.node(0).result(), Some(expected_sum(n)), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_tree_reaches_the_initiator() {
+        // Follow parent ports through the topology: every node must reach
+        // node 0 without cycles.
+        let topo = Topology::torus(5, 4).unwrap();
+        let (_, net) = run_echo(topo.clone(), 3);
+        for start in 1..topo.node_count() {
+            let mut current = start;
+            let mut hops = 0;
+            loop {
+                let port = net
+                    .node(current as usize)
+                    .parent_port()
+                    .expect("non-initiator has a parent");
+                let edge = topo.out_edges(abe_core::topology::NodeId::new(current))[port.0];
+                current = topo.edge(edge).dst.index() as u32;
+                hops += 1;
+                assert!(hops <= topo.node_count(), "cycle in spanning tree");
+                if current == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_decides() {
+        let (_, net) = run_echo(Topology::complete(6).unwrap(), 1);
+        assert!(net.protocols().all(|p| p.is_done()));
+    }
+
+    #[test]
+    fn message_count_is_two_per_edge_at_most() {
+        // Echo sends at most one forward and one feedback per directed
+        // edge: total ≤ 2m, and ≥ m (every edge carries the forward wave
+        // or an echo).
+        let topo = Topology::bidirectional_ring(10).unwrap();
+        let m = topo.edge_count() as u64;
+        let (report, _) = run_echo(topo, 2);
+        assert!(report.messages_sent <= m + m);
+        assert!(report.messages_sent >= m);
+    }
+
+    #[test]
+    fn works_under_heavy_tails_and_jitter() {
+        for seed in 0..5 {
+            let topo = Topology::torus(3, 3).unwrap();
+            let net = NetworkBuilder::new(topo)
+                .delay(Pareto::from_mean(2.0, 1.0).unwrap())
+                .seed(seed)
+                .build(|i| Echo::new(i == 0, 1))
+                .unwrap();
+            let (report, net) = net.run(RunLimits::unbounded());
+            assert!(report.outcome.is_stopped());
+            assert_eq!(net.node(0).result(), Some(9));
+        }
+    }
+
+    #[test]
+    fn completion_time_scales_with_depth_not_size() {
+        // On a star the wave is depth 1: completion should take about two
+        // delay means regardless of leaf count.
+        let big = {
+            let net = NetworkBuilder::new(Topology::star(50).unwrap())
+                .delay(Uniform::new(0.9, 1.1).unwrap())
+                .seed(4)
+                .build(|i| Echo::new(i == 0, 1))
+                .unwrap();
+            let (report, _) = net.run(RunLimits::unbounded());
+            report.end_time.as_secs()
+        };
+        assert!(big < 3.0, "star echo should finish in ~2 delays, took {big}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Asynchronous flooding broadcast.
+//!
+//! The simplest wave: an informed node tells every out-neighbour once.
+//! On a strongly connected digraph every node is eventually informed and
+//! exactly `m` messages are sent (one per edge), irrespective of delays,
+//! reordering, or clock drift — a useful calibration workload for the ABE
+//! substrate and the building block of the sensor-network scenarios the
+//! paper's abstract motivates.
+
+use abe_core::{Ctx, InPort, OutPort, Protocol};
+
+/// One node of the flooding broadcast.
+///
+/// # Examples
+///
+/// ```
+/// use abe_core::delay::Exponential;
+/// use abe_core::{NetworkBuilder, Topology};
+/// use abe_sim::RunLimits;
+/// use abe_wave::Flood;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topo = Topology::torus(4, 4)?;
+/// let edges = topo.edge_count() as u64;
+/// let net = NetworkBuilder::new(topo)
+///     .delay(Exponential::from_mean(1.0)?)
+///     .seed(3)
+///     .build(|i| Flood::new(i == 0, 42))?;
+/// let (report, net) = net.run(RunLimits::unbounded());
+/// assert!(net.protocols().all(|p| p.payload() == Some(42)));
+/// assert_eq!(report.messages_sent, edges); // one message per edge
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flood {
+    source: bool,
+    payload: Option<u64>,
+    informed_at: Option<f64>,
+}
+
+impl Flood {
+    /// Creates a node; sources start informed with `payload`.
+    pub fn new(source: bool, payload: u64) -> Self {
+        Self {
+            source,
+            payload: source.then_some(payload),
+            informed_at: None,
+        }
+    }
+
+    /// The value this node has learnt, if any.
+    pub fn payload(&self) -> Option<u64> {
+        self.payload
+    }
+
+    /// Local time at which this node was informed (sources: start time).
+    pub fn informed_at(&self) -> Option<f64> {
+        self.informed_at
+    }
+
+    fn announce(&self, ctx: &mut Ctx<'_, u64>) {
+        let payload = self.payload.expect("announce only when informed");
+        for p in 0..ctx.out_degree() {
+            ctx.send(OutPort(p), payload);
+        }
+    }
+}
+
+impl Protocol for Flood {
+    type Message = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if self.source {
+            self.informed_at = Some(ctx.local_time());
+            self.announce(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: InPort, payload: u64, ctx: &mut Ctx<'_, u64>) {
+        if self.payload.is_none() {
+            self.payload = Some(payload);
+            self.informed_at = Some(ctx.local_time());
+            self.announce(ctx);
+            ctx.count("informed", 1);
+        }
+        // Duplicates are absorbed silently.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_core::delay::{Exponential, Pareto};
+    use abe_core::{NetworkBuilder, Topology};
+    use abe_sim::RunLimits;
+
+    fn run_flood(topo: Topology, seed: u64) -> (abe_core::NetworkReport, Vec<Option<u64>>) {
+        let net = NetworkBuilder::new(topo)
+            .delay(Exponential::from_mean(1.0).unwrap())
+            .seed(seed)
+            .build(|i| Flood::new(i == 0, 7))
+            .unwrap();
+        let (report, net) = net.run(RunLimits::unbounded());
+        let payloads = net.protocols().map(|p| p.payload()).collect();
+        (report, payloads)
+    }
+
+    #[test]
+    fn informs_every_node_on_various_topologies() {
+        for topo in [
+            Topology::unidirectional_ring(12).unwrap(),
+            Topology::bidirectional_ring(12).unwrap(),
+            Topology::torus(4, 3).unwrap(),
+            Topology::complete(8).unwrap(),
+            Topology::star(9).unwrap(),
+        ] {
+            let n = topo.node_count() as usize;
+            let (_, payloads) = run_flood(topo, 5);
+            assert_eq!(payloads, vec![Some(7); n]);
+        }
+    }
+
+    #[test]
+    fn sends_exactly_one_message_per_edge() {
+        for seed in 0..10 {
+            let topo = Topology::torus(4, 4).unwrap();
+            let edges = topo.edge_count() as u64;
+            let (report, _) = run_flood(topo, seed);
+            assert_eq!(report.messages_sent, edges, "seed {seed}");
+            assert_eq!(report.counter("informed"), 15, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn heavy_tailed_delays_do_not_change_message_count() {
+        let topo = Topology::complete(10).unwrap();
+        let edges = topo.edge_count() as u64;
+        let net = NetworkBuilder::new(topo)
+            .delay(Pareto::from_mean(2.5, 1.0).unwrap())
+            .seed(1)
+            .build(|i| Flood::new(i == 0, 1))
+            .unwrap();
+        let (report, _) = net.run(RunLimits::unbounded());
+        assert_eq!(report.messages_sent, edges);
+    }
+
+    #[test]
+    fn informed_times_are_monotone_along_the_ring() {
+        // On a unidirectional ring with perfect clocks, node k is informed
+        // no earlier than node k-1 (information travels hop by hop).
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(10).unwrap())
+            .delay(Exponential::from_mean(1.0).unwrap())
+            .seed(2)
+            .build(|i| Flood::new(i == 0, 9))
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        let times: Vec<f64> = net.protocols().map(|p| p.informed_at().unwrap()).collect();
+        for w in times.windows(2).skip(1) {
+            assert!(w[1] >= w[0], "times must be monotone: {times:?}");
+        }
+    }
+}

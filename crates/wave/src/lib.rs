@@ -1,0 +1,49 @@
+//! # abe-wave — wave algorithms for ABE networks
+//!
+//! The paper's abstract motivates the ABE model with "asynchrony that
+//! occurs in sensor networks and ad-hoc networks"; the workloads such
+//! networks actually run are *waves*: broadcasts, convergecasts, and
+//! termination-detecting sweeps. This crate provides the two classics over
+//! the anonymous [`Protocol`](abe_core::Protocol) API:
+//!
+//! * [`Flood`] — asynchronous flooding broadcast: informs every node with
+//!   exactly one message per edge;
+//! * [`Echo`] — the echo algorithm (PIF): builds a spanning tree, detects
+//!   global termination at the initiator, and aggregates a value up the
+//!   tree (convergecast) — all without identities, using only
+//!   [`Ctx::reply_port`](abe_core::Ctx::reply_port) on bidirectional links.
+//!
+//! Both are delay-oblivious: their message counts are functions of the
+//! topology alone, which makes them calibration workloads for the ABE
+//! substrate (see the crate tests).
+//!
+//! ## Example
+//!
+//! ```
+//! use abe_core::delay::Exponential;
+//! use abe_core::{NetworkBuilder, Topology};
+//! use abe_sim::RunLimits;
+//! use abe_wave::Echo;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Ad-hoc aggregation: sum sensor readings (here: node index squared).
+//! let net = NetworkBuilder::new(Topology::torus(3, 3)?)
+//!     .delay(Exponential::from_mean(1.0)?)
+//!     .seed(7)
+//!     .build(|i| Echo::new(i == 0, (i * i) as u64))?;
+//! let (_, net) = net.run(RunLimits::unbounded());
+//! let expected: u64 = (0..9).map(|i| i * i).sum();
+//! assert_eq!(net.node(0).result(), Some(expected));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod echo;
+mod flood;
+
+pub use echo::{Echo, EchoMsg};
+pub use flood::Flood;

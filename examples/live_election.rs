@@ -1,0 +1,58 @@
+//! The election running **live**: one OS thread per node, crossbeam
+//! channels, wall-clock delays — no simulator anywhere.
+//!
+//! ```text
+//! cargo run --release --example live_election
+//! ```
+//!
+//! The same `AbeElection` protocol values that the simulator measures are
+//! handed to the `abe-live` runtime unmodified. Live runs are not
+//! deterministic (real scheduling!), so we run a handful and check the
+//! safety property — exactly one leader — every time.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use abe_networks::core::delay::Exponential;
+use abe_networks::core::Topology;
+use abe_networks::election::{AbeElection, ElectionState};
+use abe_networks::live::{run_live, LiveConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: u32 = 8;
+    println!("== Live election: {n} OS threads, crossbeam channels, wall-clock delays ==\n");
+
+    for round in 0..5u64 {
+        let report = run_live(
+            Topology::unidirectional_ring(n)?,
+            Arc::new(Exponential::from_mean(1.0)?),
+            &LiveConfig {
+                time_scale: Duration::from_micros(300), // 1 virtual s = 300 µs wall
+                seed: round,
+                max_wall: Duration::from_secs(20),
+            },
+            |_| AbeElection::calibrated(n, 2.0).expect("valid parameters"),
+            |stats| stats.stop_requested,
+        );
+        let leaders = report
+            .protocols
+            .iter()
+            .filter(|p| p.state() == ElectionState::Leader)
+            .count();
+        println!(
+            "run {round}: leader elected in {:?} wall time, {} messages, states: {} passive / {} leader",
+            report.wall_elapsed,
+            report.messages_sent,
+            report
+                .protocols
+                .iter()
+                .filter(|p| p.state() == ElectionState::Passive)
+                .count(),
+            leaders,
+        );
+        assert_eq!(leaders, 1, "safety must hold under real concurrency");
+    }
+
+    println!("\nfive live runs, five unique leaders — the protocol is not simulator-bound.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! A sensor-network scenario (the abstract's "asynchrony that occurs in
+//! sensor networks and ad-hoc networks").
+//!
+//! ```text
+//! cargo run --example sensor_grid
+//! ```
+//!
+//! An 8×8 torus of sensor nodes with heavy-tailed (Pareto) link delays and
+//! drifting local clocks — a legal ABE network, far outside ABD. We run a
+//! synchronised flooding broadcast over the graph synchroniser and verify
+//! the synchronous semantics survive: every node learns the value exactly
+//! at its BFS distance from the source, despite reordering and drift.
+
+use abe_networks::core::clock::{ClockSpec, DriftMode};
+use abe_networks::core::delay::Pareto;
+use abe_networks::core::topology::NodeId;
+use abe_networks::core::{NetworkBuilder, Topology};
+use abe_networks::sim::RunLimits;
+use abe_networks::sync::{Flood, GraphSynchronizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (width, height) = (8u32, 8u32);
+    let topology = Topology::torus(width, height)?;
+    let n = topology.node_count();
+    let distances = topology.bfs_distances(NodeId::new(0));
+
+    println!("== Sensor grid: {width}x{height} torus, Pareto delays, drifting clocks ==\n");
+    println!("nodes: {n}, edges: {}, diameter: {:?}", topology.edge_count(), topology.diameter());
+
+    let rounds = u64::from(width + height + 2);
+    let network = NetworkBuilder::new(topology)
+        // Heavy-tailed delays: queueing spikes dominate the tail, but the
+        // mean is 1 — a textbook ABE link.
+        .delay(Pareto::from_mean(2.5, 1.0)?)
+        // Sensor oscillators: up to 2x relative speed, re-drawn over time.
+        .clocks(ClockSpec::new(0.7, 1.4, DriftMode::Wander)?)
+        .seed(99)
+        .build(|i| GraphSynchronizer::new(Flood::new(i == 0), rounds))?;
+
+    let (report, network) = network.run(RunLimits::unbounded());
+
+    println!("outcome: {}, virtual time {:.1}", report.outcome, report.end_time.as_secs());
+    println!(
+        "synchroniser cost: {} envelopes over {} node-pulses ({:.1} msgs per round, n = {n})",
+        report.counter("envelopes"),
+        report.counter("pulses"),
+        report.counter("envelopes") as f64 / (report.counter("pulses") as f64 / n as f64),
+    );
+
+    let mut correct = 0;
+    for (i, node) in network.protocols().enumerate() {
+        let expected = distances[i].map(u64::from);
+        if node.app().informed_at() == expected {
+            correct += 1;
+        }
+    }
+    println!("\nsynchronous semantics check: {correct}/{n} nodes informed exactly at their BFS distance");
+    assert_eq!(correct, n as usize, "synchronised flooding must match BFS rounds");
+    println!("the synchroniser preserved lock-step rounds over a heavy-tailed, drifting network —");
+    println!("at the unavoidable Theorem 1 price of >= n messages per round.");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Synchroniser face-off: Theorem 1's floor vs the unsound ABD shortcut.
+//!
+//! ```text
+//! cargo run --example synchronizer_faceoff
+//! ```
+//!
+//! Two ways to simulate synchronous rounds on a ring whose delays are only
+//! bounded *in expectation*:
+//!
+//! * the **graph synchroniser** — always correct, but pays exactly `n`
+//!   messages per round (Theorem 1 says nothing cheaper can exist);
+//! * the **ABD synchroniser** — free of control messages, but its
+//!   correctness rests on a hard delay bound that ABE networks do not
+//!   have; we count how often the synchronous abstraction breaks.
+
+use abe_networks::core::delay::{Bimodal, Exponential};
+use abe_networks::core::{NetworkBuilder, Topology};
+use abe_networks::sim::RunLimits;
+use abe_networks::stats::{fmt_num, Table};
+use abe_networks::sync::{AbdSynchronizer, Chatter, GraphSynchronizer, Heartbeat};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: u32 = 16;
+    let rounds: u64 = 200;
+
+    println!("== Part 1: the Theorem 1 floor (graph synchroniser, heartbeat app) ==\n");
+    let mut table = Table::new(&["topology", "n", "messages/round", "per node"]);
+    for (name, topo) in [
+        ("unidirectional ring", Topology::unidirectional_ring(n)?),
+        ("bidirectional ring", Topology::bidirectional_ring(n)?),
+        ("4x4 torus", Topology::torus(4, 4)?),
+        ("complete", Topology::complete(n)?),
+    ] {
+        let nodes = topo.node_count() as f64;
+        let net = NetworkBuilder::new(topo)
+            .delay(Exponential::from_mean(1.0)?)
+            .seed(5)
+            .build(|_| GraphSynchronizer::new(Heartbeat::new(), rounds))?;
+        let (report, _) = net.run(RunLimits::unbounded());
+        let per_round = report.messages_sent as f64 / (rounds - 1) as f64;
+        table.row(&[
+            name.to_string(),
+            fmt_num(nodes),
+            fmt_num(per_round),
+            fmt_num(per_round / nodes),
+        ]);
+    }
+    println!("{table}");
+    println!("the unidirectional ring hits exactly 1.0 per node — the Theorem 1 lower bound\nis met with equality; nothing correct can go below it.\n");
+
+    println!("== Part 2: the ABD synchroniser on ABE delays (violations per pulse interval) ==\n");
+    let mut table = Table::new(&["delay model", "Φ/δ", "violation rate"]);
+    for &phi in &[1.0, 2.0, 4.0, 8.0] {
+        for bounded in [true, false] {
+            let topo = Topology::unidirectional_ring(n)?;
+            let builder = NetworkBuilder::new(topo).tick_interval(phi).seed(11);
+            let builder = if bounded {
+                builder.delay(Bimodal::new(0.5, 2.5, 0.25)?) // hard bound 2.5
+            } else {
+                builder.delay(Exponential::from_mean(1.0)?) // unbounded
+            };
+            let net = builder.build(|_| AbdSynchronizer::new(Chatter, rounds))?;
+            let (report, _) = net.run(RunLimits::unbounded());
+            let rate = report.counter("violations") as f64
+                / report.counter("app-messages").max(1) as f64;
+            table.row(&[
+                if bounded { "bounded (ABD-legal)" } else { "exponential (ABE)" }.to_string(),
+                fmt_num(phi),
+                format!("{rate:.5}"),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("with a hard bound the violations vanish once Φ clears it; with merely a bounded\n*expectation* they never vanish — the ABD synchroniser does not survive in ABE.");
+    Ok(())
+}

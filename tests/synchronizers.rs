@@ -1,0 +1,117 @@
+//! Cross-crate integration: synchronisers on ABE networks vs the native
+//! synchronous reference.
+
+use abe_networks::core::delay::{Exponential, Pareto, Uniform};
+use abe_networks::core::{NetworkBuilder, Topology};
+use abe_networks::sim::RunLimits;
+use abe_networks::sync::{
+    AbdSynchronizer, Chatter, Flood, GraphSynchronizer, Heartbeat, IrSync, SyncRunner,
+};
+
+/// The same pulse algorithm must compute the same thing natively and over
+/// the synchroniser on a delay-ridden network.
+#[test]
+fn synchronized_flood_matches_native_flood() {
+    for (name, topo) in [
+        ("ring", Topology::bidirectional_ring(10).unwrap()),
+        ("torus", Topology::torus(4, 4).unwrap()),
+        ("star", Topology::star(9).unwrap()),
+    ] {
+        // Native reference.
+        let mut native = SyncRunner::new(topo.clone(), 0, |i| Flood::new(i == 0));
+        native.run(1000);
+        let native_rounds: Vec<Option<u64>> =
+            native.protocols().map(|p| p.informed_at()).collect();
+
+        // Over the synchroniser on an ABE network with heavy-tailed delays.
+        for seed in 0..3 {
+            let net = NetworkBuilder::new(topo.clone())
+                .delay(Pareto::from_mean(2.5, 1.0).unwrap())
+                .seed(seed)
+                .build(|i| GraphSynchronizer::new(Flood::new(i == 0), 64))
+                .unwrap();
+            let (_, net) = net.run(RunLimits::unbounded());
+            let synced: Vec<Option<u64>> =
+                net.protocols().map(|p| p.app().informed_at()).collect();
+            assert_eq!(synced, native_rounds, "{name} seed={seed}");
+        }
+    }
+}
+
+/// Synchronous IR elects the same *number* of leaders (exactly one) both
+/// natively and over the synchroniser, for the same app seed derivation.
+#[test]
+fn ir_sync_elects_over_synchronizer() {
+    let n = 12u32;
+    for seed in 0..5 {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+            .delay(Exponential::from_mean(1.0).unwrap())
+            .seed(seed)
+            .build(|_| GraphSynchronizer::new(IrSync::new(n).unwrap(), 64 * u64::from(n)))
+            .unwrap();
+        let (report, net) = net.run(RunLimits::events(20_000_000));
+        assert!(report.outcome.is_stopped(), "seed={seed}");
+        let leaders = net.protocols().filter(|p| p.app().is_leader()).count();
+        assert_eq!(leaders, 1, "seed={seed}");
+    }
+}
+
+/// The graph synchroniser's per-round cost equals the edge count — the
+/// Theorem 1 floor (n on a unidirectional ring).
+#[test]
+fn per_round_cost_is_edge_count() {
+    for (topo, expected_per_round) in [
+        (Topology::unidirectional_ring(9).unwrap(), 9u64),
+        (Topology::bidirectional_ring(9).unwrap(), 18),
+        (Topology::complete(5).unwrap(), 20),
+    ] {
+        let rounds = 30u64;
+        let net = NetworkBuilder::new(topo)
+            .delay(Uniform::new(0.1, 2.0).unwrap())
+            .seed(1)
+            .build(|_| GraphSynchronizer::new(Heartbeat::new(), rounds))
+            .unwrap();
+        let (report, _) = net.run(RunLimits::unbounded());
+        assert_eq!(report.messages_sent, expected_per_round * (rounds - 1));
+    }
+}
+
+/// ABD synchroniser: violation-free on a true ABD network with an ample
+/// pulse interval, violating on an ABE network with the same mean delay.
+#[test]
+fn abd_synchronizer_separates_the_models() {
+    let run = |bounded: bool| {
+        let builder = NetworkBuilder::new(Topology::unidirectional_ring(8).unwrap())
+            .tick_interval(4.0)
+            .seed(3);
+        let builder = if bounded {
+            builder.delay(Uniform::new(0.5, 2.0).unwrap()) // hard bound 2.0
+        } else {
+            builder.delay(Exponential::from_mean(1.0).unwrap())
+        };
+        let net = builder
+            .build(|_| AbdSynchronizer::new(Chatter, 500))
+            .unwrap();
+        let (report, _) = net.run(RunLimits::unbounded());
+        report.counter("violations")
+    };
+    assert_eq!(run(true), 0, "bounded delay must be violation-free at 4x the bound");
+    assert!(run(false) > 0, "unbounded delay must violate eventually");
+}
+
+/// Everyone pulses the same number of times: no node can run away from a
+/// slower neighbour under the graph synchroniser.
+#[test]
+fn pulses_stay_in_lockstep() {
+    let rounds = 25u64;
+    let net = NetworkBuilder::new(Topology::torus(3, 3).unwrap())
+        .delay(Exponential::from_mean(1.0).unwrap())
+        .seed(8)
+        .build(|_| GraphSynchronizer::new(Heartbeat::new(), rounds))
+        .unwrap();
+    let (_, net) = net.run(RunLimits::unbounded());
+    for p in net.protocols() {
+        assert_eq!(p.rounds_fired(), rounds);
+        assert_eq!(p.app().pulses(), rounds);
+    }
+}
