@@ -25,17 +25,13 @@ fn bench_election(c: &mut Criterion) {
 fn bench_activation_budget(c: &mut Criterion) {
     let mut group = c.benchmark_group("abe-election-budget");
     for &a in &[0.5f64, 1.0, 4.0] {
-        group.bench_with_input(
-            BenchmarkId::new("n256-a", format!("{a}")),
-            &a,
-            |b, &a| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed = seed.wrapping_add(1);
-                    run_abe_calibrated(&RingConfig::new(256).seed(seed), a).messages
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("n256-a", format!("{a}")), &a, |b, &a| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                run_abe_calibrated(&RingConfig::new(256).seed(seed), a).messages
+            })
+        });
     }
     group.finish();
 }

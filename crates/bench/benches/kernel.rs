@@ -49,14 +49,18 @@ fn bench_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation");
     for &events in &[10_000u64, 100_000] {
         group.throughput(Throughput::Elements(events));
-        group.bench_with_input(BenchmarkId::new("dispatch", events), &events, |b, &events| {
-            b.iter(|| {
-                let mut sim = Simulation::new(Chain { remaining: events });
-                sim.prime(SimTime::ZERO, ());
-                sim.run(RunLimits::unbounded());
-                sim.events_processed()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dispatch", events),
+            &events,
+            |b, &events| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(Chain { remaining: events });
+                    sim.prime(SimTime::ZERO, ());
+                    sim.run(RunLimits::unbounded());
+                    sim.events_processed()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -120,7 +120,7 @@ fn print_help() {
     println!(
         "abe-experiments — regenerate the ABE-networks evaluation\n\n\
          USAGE:\n  abe-experiments [--full|--quick] [--list] [--out FILE] [--csv DIR] [IDS...]\n\n\
-         IDS: e1 .. e12 (default: all). See DESIGN.md section 5 for the\n\
+         IDS: e1 .. e13 (default: all). See DESIGN.md section 5 for the\n\
          experiment-to-paper-claim mapping."
     );
 }

@@ -23,12 +23,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // (s_low, s_high) with ratios 1, 2, 4, 10, centred near rate 1.
     let specs: &[(f64, f64)] = &[(1.0, 1.0), (0.7, 1.4), (0.5, 2.0), (0.3, 3.0)];
 
-    let mut table = Table::new(&[
-        "clocks [s_low, s_high]",
-        "drift",
-        "msgs/n",
-        "time/(n·δ)",
-    ]);
+    let mut table = Table::new(&["clocks [s_low, s_high]", "drift", "msgs/n", "time/(n·δ)"]);
     let mut ratios = Vec::new();
 
     for &(lo, hi) in specs {

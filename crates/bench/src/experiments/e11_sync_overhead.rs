@@ -33,11 +33,7 @@ fn run_ir_over_synchronizer(n: u32, seed: u64) -> (u64, bool) {
         .build(|_| GraphSynchronizer::new(IrSync::new(n).expect("n >= 1"), max_rounds))
         .expect("valid build");
     let (report, net) = net.run(RunLimits::events(50_000_000));
-    let elected = net
-        .protocols()
-        .filter(|p| p.app().is_leader())
-        .count()
-        == 1;
+    let elected = net.protocols().filter(|p| p.app().is_leader()).count() == 1;
     (report.messages_sent, elected)
 }
 
@@ -55,13 +51,15 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut overhead_series = Vec::new();
 
     for &n in sizes {
-        let (native, _, leaders) =
-            aggregate(reps, |seed| run_abe_calibrated_local(n, seed));
+        let (native, _, leaders) = aggregate(reps, |seed| run_abe_calibrated_local(n, seed));
         assert_eq!(leaders.mean(), 1.0);
         let mut synced = Online::new();
         for seed in 0..reps {
             let (messages, elected) = run_ir_over_synchronizer(n, seed);
-            assert!(elected, "IR over synchroniser must elect (n={n}, seed={seed})");
+            assert!(
+                elected,
+                "IR over synchroniser must elect (n={n}, seed={seed})"
+            );
             synced.push(messages as f64);
         }
         let overhead = synced.mean() / native.mean();

@@ -49,8 +49,9 @@ pub fn run(scale: Scale) -> ExperimentReport {
             ir_messages.push(report.messages as f64);
             ir_rounds.push(report.rounds as f64);
         }
-        let (abe_messages, abe_time, leaders) =
-            aggregate(reps, |seed| abe_election::run_abe_calibrated(&ring(n, DELTA, seed), A));
+        let (abe_messages, abe_time, leaders) = aggregate(reps, |seed| {
+            abe_election::run_abe_calibrated(&ring(n, DELTA, seed), A)
+        });
         assert_eq!(leaders.mean(), 1.0);
         ir_series.push((n as f64, ir_messages.mean()));
         abe_series.push((n as f64, abe_messages.mean()));

@@ -72,7 +72,13 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let reps = scale.pick(20u64, 60);
     let claims: &[u32] = &[8, 12, 15, 16, 17, 24, 32];
 
-    let mut table = Table::new(&["claimed n'", "true n", "correct", "wrong election", "no leader"]);
+    let mut table = Table::new(&[
+        "claimed n'",
+        "true n",
+        "correct",
+        "wrong election",
+        "no leader",
+    ]);
     let mut over_all_no_leader = true;
     let mut exact_all_correct = true;
 
@@ -102,7 +108,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ]);
     }
 
-    let findings = vec![
+    let findings =
+        vec![
         format!(
             "exact knowledge (n' = n): {} — every run elects exactly one leader",
             if exact_all_correct { "correct in all runs" } else { "UNEXPECTED failures" }

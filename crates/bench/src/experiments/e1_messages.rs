@@ -26,7 +26,13 @@ pub fn run(scale: Scale) -> ExperimentReport {
     );
     let reps = scale.pick(40, 200);
 
-    let mut table = Table::new(&["n", "messages (mean)", "±95% CI", "messages/n", "knockouts/n"]);
+    let mut table = Table::new(&[
+        "n",
+        "messages (mean)",
+        "±95% CI",
+        "messages/n",
+        "knockouts/n",
+    ]);
     let mut series = Vec::new();
     for &n in sizes {
         let mut knockouts = abe_stats::Online::new();
@@ -35,7 +41,11 @@ pub fn run(scale: Scale) -> ExperimentReport {
             knockouts.push(o.report.counter("knockouts") as f64);
             o
         });
-        assert_eq!(leaders.mean(), 1.0, "every run must elect exactly one leader");
+        assert_eq!(
+            leaders.mean(),
+            1.0,
+            "every run must elect exactly one leader"
+        );
         series.push((n as f64, messages.mean()));
         table.row(&[
             n.to_string(),
@@ -84,7 +94,11 @@ mod tests {
     fn quick_run_classifies_linear() {
         let report = run(Scale::Quick);
         assert_eq!(report.id, "E1");
-        assert!(report.findings[0].contains("O(n)"), "{}", report.findings[0]);
+        assert!(
+            report.findings[0].contains("O(n)"),
+            "{}",
+            report.findings[0]
+        );
         assert_eq!(report.table.row_count(), 6);
         // Double-check via a direct fit at tiny scale.
         let series: Vec<(f64, f64)> = [8u32, 32, 128]

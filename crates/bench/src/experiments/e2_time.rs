@@ -78,6 +78,10 @@ mod tests {
     #[test]
     fn quick_run_classifies_linear() {
         let report = run(Scale::Quick);
-        assert!(report.findings[0].contains("O(n)"), "{}", report.findings[0]);
+        assert!(
+            report.findings[0].contains("O(n)"),
+            "{}",
+            report.findings[0]
+        );
     }
 }

@@ -67,9 +67,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut constant_ratio = Vec::new();
     for &n in scale.pick(&[16u32, 64][..], &[16, 64, 256][..]) {
         for &a0 in &[0.1, 0.3] {
-            let (messages, time, leaders) = aggregate(reps.min(30), |seed| {
-                run_abe(&ring(n, DELTA, seed), a0)
-            });
+            let (messages, time, leaders) =
+                aggregate(reps.min(30), |seed| run_abe(&ring(n, DELTA, seed), a0));
             assert_eq!(leaders.mean(), 1.0);
             constant_ratio.push((n, a0, messages.mean() / n as f64));
             table.row(&[

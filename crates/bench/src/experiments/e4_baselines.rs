@@ -64,10 +64,22 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let cr_fit = best_growth(&cr_series).expect("non-empty");
     let pt_fit = best_growth(&pt_series).expect("non-empty");
     let findings = vec![
-        format!("ABE election: best fit {} (c = {:.3})", abe_fit.model, abe_fit.constant),
-        format!("Itai–Rodeh:   best fit {} (c = {:.3})", ir_fit.model, ir_fit.constant),
-        format!("Chang–Roberts: best fit {} (c = {:.3})", cr_fit.model, cr_fit.constant),
-        format!("Peterson:     best fit {} (c = {:.3})", pt_fit.model, pt_fit.constant),
+        format!(
+            "ABE election: best fit {} (c = {:.3})",
+            abe_fit.model, abe_fit.constant
+        ),
+        format!(
+            "Itai–Rodeh:   best fit {} (c = {:.3})",
+            ir_fit.model, ir_fit.constant
+        ),
+        format!(
+            "Chang–Roberts: best fit {} (c = {:.3})",
+            cr_fit.model, cr_fit.constant
+        ),
+        format!(
+            "Peterson:     best fit {} (c = {:.3})",
+            pt_fit.model, pt_fit.constant
+        ),
         "the baselines' msgs/n grow with log n while the ABE algorithm stays flat — the ABE \
          model buys past the Ω(n log n) asynchronous lower bound"
             .to_string(),
@@ -89,7 +101,11 @@ mod tests {
     #[test]
     fn quick_run_separates_abe_from_baselines() {
         let report = run(Scale::Quick);
-        assert!(report.findings[0].contains("O(n)"), "{}", report.findings[0]);
+        assert!(
+            report.findings[0].contains("O(n)"),
+            "{}",
+            report.findings[0]
+        );
         // The baselines must NOT classify as constant (they grow at least
         // linearly with n·log n-ish per-node growth).
         assert!(!report.findings[1].contains("O(1)"));

@@ -32,8 +32,14 @@ pub fn run(scale: Scale) -> ExperimentReport {
     for &n in sizes {
         let mut er_rng = SeedStream::new(77).stream("er-topo", u64::from(n));
         let topologies: Vec<(&str, Topology)> = vec![
-            ("uni-ring", Topology::unidirectional_ring(n).expect("n >= 1")),
-            ("bidi-ring", Topology::bidirectional_ring(n).expect("n >= 1")),
+            (
+                "uni-ring",
+                Topology::unidirectional_ring(n).expect("n >= 1"),
+            ),
+            (
+                "bidi-ring",
+                Topology::bidirectional_ring(n).expect("n >= 1"),
+            ),
             ("torus", Topology::torus(n / 4, 4).expect("dims >= 1")),
             (
                 "erdos-renyi(0.3)",

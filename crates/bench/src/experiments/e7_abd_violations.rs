@@ -21,13 +21,7 @@ use abe_sync::{abd_counters, AbdSynchronizer, Chatter};
 
 use crate::{ExperimentReport, Scale};
 
-fn violation_rate(
-    delay: DelayKind,
-    phi: f64,
-    rounds: u64,
-    n: u32,
-    seed: u64,
-) -> (f64, u64, u64) {
+fn violation_rate(delay: DelayKind, phi: f64, rounds: u64, n: u32, seed: u64) -> (f64, u64, u64) {
     let topo = Topology::unidirectional_ring(n).expect("n >= 1");
     let builder = NetworkBuilder::new(topo).tick_interval(phi).seed(seed);
     let builder = match delay {
@@ -71,11 +65,21 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let n = scale.pick(8u32, 16);
     let phis: &[f64] = &[1.0, 2.0, 3.0, 4.0, 8.0, 16.0];
 
-    let mut table = Table::new(&["delay model", "Φ/δ", "violations", "app msgs", "violation rate"]);
+    let mut table = Table::new(&[
+        "delay model",
+        "Φ/δ",
+        "violations",
+        "app msgs",
+        "violation rate",
+    ]);
     let mut bounded_zero_from = None;
     let mut unbounded_always_positive = true;
 
-    for kind in [DelayKind::BoundedBimodal, DelayKind::Exponential, DelayKind::Pareto] {
+    for kind in [
+        DelayKind::BoundedBimodal,
+        DelayKind::Exponential,
+        DelayKind::Pareto,
+    ] {
         for &phi in phis {
             let (rate, violations, app) = violation_rate(kind, phi, rounds, n, 42);
             if matches!(kind, DelayKind::BoundedBimodal) && violations == 0 {

@@ -86,7 +86,11 @@ mod tests {
     #[test]
     fn quick_run_shows_fixed_slowdown() {
         let report = run(Scale::Quick);
-        assert!(report.findings[0].contains("O(n)"), "{}", report.findings[0]);
+        assert!(
+            report.findings[0].contains("O(n)"),
+            "{}",
+            report.findings[0]
+        );
         assert!(
             !report.findings[1].contains("fit O(n) "),
             "fixed variant should not be linear: {}",

@@ -41,7 +41,11 @@ pub fn run(scale: Scale) -> ExperimentReport {
         table.row(&[
             label.to_string(),
             fmt_num(model.mean().as_secs()),
-            if bounded { "yes".into() } else { "no".to_string() },
+            if bounded {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
             fmt_num(messages.mean() / n as f64),
             fmt_num(ratio),
         ]);

@@ -1,5 +1,9 @@
 //! The experiment implementations (one module per `EXPERIMENTS.md` entry).
 
+pub mod e10_clock_drift;
+pub mod e11_sync_overhead;
+pub mod e12_vs_synchronous;
+pub mod e13_known_n;
 pub mod e1_messages;
 pub mod e2_time;
 pub mod e3_activation;
@@ -9,10 +13,6 @@ pub mod e6_theorem1;
 pub mod e7_abd_violations;
 pub mod e8_adaptive_ablation;
 pub mod e9_delay_robustness;
-pub mod e10_clock_drift;
-pub mod e11_sync_overhead;
-pub mod e12_vs_synchronous;
-pub mod e13_known_n;
 
 use abe_election::{ElectionOutcome, RingConfig};
 use abe_stats::Online;

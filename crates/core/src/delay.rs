@@ -1011,8 +1011,10 @@ mod tests {
         let m = Retransmission::new(0.2, 1.0).unwrap();
         let mut r = rng(5);
         let n = 200_000u64;
-        let mean =
-            (0..n).map(|_| m.sample_attempts(&mut r) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| m.sample_attempts(&mut r) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 5.0).abs() < 0.05, "got {mean}");
     }
 

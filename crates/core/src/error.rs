@@ -63,7 +63,10 @@ impl fmt::Display for TopologyError {
                 "node index {index} out of range for topology of {node_count} nodes"
             ),
             TopologyError::NotConnected => {
-                write!(f, "random graph was not strongly connected within retry budget")
+                write!(
+                    f,
+                    "random graph was not strongly connected within retry budget"
+                )
             }
         }
     }
@@ -220,7 +223,9 @@ mod tests {
 
     #[test]
     fn topology_error_messages() {
-        assert!(TopologyError::Empty.to_string().contains("at least one node"));
+        assert!(TopologyError::Empty
+            .to_string()
+            .contains("at least one node"));
         let e = TopologyError::NodeOutOfRange {
             index: 9,
             node_count: 4,
@@ -236,7 +241,9 @@ mod tests {
             delta: 1.0,
         };
         assert!(v.to_string().contains("delta"));
-        assert!(ClassViolation::DelayUnbounded.to_string().contains("bounded"));
+        assert!(ClassViolation::DelayUnbounded
+            .to_string()
+            .contains("bounded"));
     }
 
     #[test]

@@ -66,13 +66,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod clock;
-pub mod delay;
 mod builder;
 mod class;
+pub mod clock;
+pub mod delay;
 mod error;
 mod net;
 mod protocol;
@@ -305,15 +305,17 @@ mod tests {
     #[test]
     fn class_conforming_build_succeeds() {
         let class = NetworkClass::Abe(AbeParams::with_delta(1.0).unwrap());
-        assert!(NetworkBuilder::new(Topology::unidirectional_ring(3).unwrap())
-            .delay(Exponential::from_mean(1.0).unwrap())
-            .class(class)
-            .build(|_| Pinger {
-                is_source: false,
-                to_send: 0,
-                received: 0,
-            })
-            .is_ok());
+        assert!(
+            NetworkBuilder::new(Topology::unidirectional_ring(3).unwrap())
+                .delay(Exponential::from_mean(1.0).unwrap())
+                .class(class)
+                .build(|_| Pinger {
+                    is_source: false,
+                    to_send: 0,
+                    received: 0,
+                })
+                .is_ok()
+        );
     }
 
     #[test]

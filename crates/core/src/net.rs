@@ -603,10 +603,7 @@ mod tick_tests {
         let (_, net) = net.run(RunLimits::unbounded());
         // Only the newest record is retained.
         assert_eq!(net.trace().count(), 1);
-        assert_eq!(
-            net.trace().next().unwrap().data,
-            "deliver n0 -> n1: ()"
-        );
+        assert_eq!(net.trace().next().unwrap().data, "deliver n0 -> n1: ()");
     }
 
     #[test]

@@ -409,8 +409,10 @@ mod geometric_tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
         for &p in &[0.01f64, 0.1, 0.5, 0.9] {
             let n = 100_000u64;
-            let mean: f64 =
-                (0..n).map(|_| geometric_trials(&mut rng, p) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| geometric_trials(&mut rng, p) as f64)
+                .sum::<f64>()
+                / n as f64;
             let expect = 1.0 / p;
             assert!(
                 (mean - expect).abs() / expect < 0.03,

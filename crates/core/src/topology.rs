@@ -393,19 +393,16 @@ impl Topology {
         }
         // Forward reachability from node 0, then reachability in the
         // reversed graph; both covering all nodes ⇔ strong connectivity.
-        let forward_ok = self
-            .bfs_distances(NodeId(0))
-            .iter()
-            .all(|d| d.is_some());
+        let forward_ok = self.bfs_distances(NodeId(0)).iter().all(|d| d.is_some());
         if !forward_ok {
             return false;
         }
-        let reversed = Self::from_edges(
-            self.n,
-            self.edges.iter().map(|e| (e.dst.0, e.src.0)),
-        )
-        .expect("reversing preserves validity");
-        reversed.bfs_distances(NodeId(0)).iter().all(|d| d.is_some())
+        let reversed = Self::from_edges(self.n, self.edges.iter().map(|e| (e.dst.0, e.src.0)))
+            .expect("reversing preserves validity");
+        reversed
+            .bfs_distances(NodeId(0))
+            .iter()
+            .all(|d| d.is_some())
     }
 
     /// Longest shortest-path distance over all ordered pairs, or `None`

@@ -91,7 +91,10 @@ impl AbeElection {
             return Err(InvalidConfigError::new("n", "must be at least 1"));
         }
         if !(a0.is_finite() && a0 > 0.0 && a0 < 1.0) {
-            return Err(InvalidConfigError::new("a0", "must lie in the open interval (0, 1)"));
+            return Err(InvalidConfigError::new(
+                "a0",
+                "must lie in the open interval (0, 1)",
+            ));
         }
         Ok(Self {
             n,
@@ -302,12 +305,11 @@ mod tests {
             let reps = 15;
             let total: u64 = (0..reps)
                 .map(|seed| {
-                    let net =
-                        NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
-                            .delay(Exponential::from_mean(1.0).unwrap())
-                            .seed(seed)
-                            .build(|_| AbeElection::calibrated(n, 1.0).unwrap())
-                            .unwrap();
+                    let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
+                        .delay(Exponential::from_mean(1.0).unwrap())
+                        .seed(seed)
+                        .build(|_| AbeElection::calibrated(n, 1.0).unwrap())
+                        .unwrap();
                     let (report, _) = net.run(RunLimits::unbounded());
                     report.messages_sent
                 })

@@ -37,7 +37,10 @@ impl FixedActivation {
             return Err(InvalidConfigError::new("n", "must be at least 1"));
         }
         if !(a0.is_finite() && a0 > 0.0 && a0 < 1.0) {
-            return Err(InvalidConfigError::new("a0", "must lie in the open interval (0, 1)"));
+            return Err(InvalidConfigError::new(
+                "a0",
+                "must lie in the open interval (0, 1)",
+            ));
         }
         Ok(Self {
             n,

@@ -36,7 +36,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::error::Error;
@@ -56,8 +56,8 @@ pub use fixed::FixedActivation;
 pub use itai_rodeh::{IrToken, ItaiRodeh};
 pub use peterson::{Peterson, PetersonMsg};
 pub use runner::{
-    random_permutation, run_abe, run_abe_calibrated, run_chang_roberts, run_fixed,
-    run_itai_rodeh, run_peterson, ElectionOutcome, RingConfig,
+    random_permutation, run_abe, run_abe_calibrated, run_chang_roberts, run_fixed, run_itai_rodeh,
+    run_peterson, ElectionOutcome, RingConfig,
 };
 pub use state::ElectionState;
 
@@ -82,7 +82,11 @@ impl InvalidConfigError {
 
 impl fmt::Display for InvalidConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid election parameter `{}`: {}", self.param, self.constraint)
+        write!(
+            f,
+            "invalid election parameter `{}`: {}",
+            self.param, self.constraint
+        )
     }
 }
 

@@ -194,11 +194,7 @@ mod tests {
     use abe_core::{NetworkBuilder, NetworkReport, Topology};
     use abe_sim::RunLimits;
 
-    fn run_ring(
-        n: u32,
-        seed: u64,
-        ids: impl Fn(usize) -> u64,
-    ) -> (NetworkReport, Vec<Peterson>) {
+    fn run_ring(n: u32, seed: u64, ids: impl Fn(usize) -> u64) -> (NetworkReport, Vec<Peterson>) {
         let net = NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap())
             .delay(Exponential::from_mean(1.0).unwrap())
             .seed(seed)
@@ -253,9 +249,9 @@ mod tests {
         let n: u32 = 64;
         for arrangement in [0usize, 1, 2] {
             let ids = move |i: usize| match arrangement {
-                0 => i as u64 + 1,                       // ascending
-                1 => (n as usize - i) as u64,            // descending
-                _ => ((i as u64 * 37) % n as u64) + 1,   // shuffled-ish
+                0 => i as u64 + 1,                     // ascending
+                1 => (n as usize - i) as u64,          // descending
+                _ => ((i as u64 * 37) % n as u64) + 1, // shuffled-ish
             };
             let (report, _) = run_ring(n, 3, ids);
             let bound = 4 * u64::from(n) * 6; // 4·n·log2(64)

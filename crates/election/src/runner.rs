@@ -81,13 +81,11 @@ impl RingConfig {
     }
 
     fn builder(&self) -> NetworkBuilder {
-        NetworkBuilder::new(
-            Topology::unidirectional_ring(self.n).expect("n >= 1 was validated"),
-        )
-        .delay_shared(Arc::clone(&self.delay))
-        .clocks(self.clocks)
-        .fifo(self.fifo)
-        .seed(self.seed)
+        NetworkBuilder::new(Topology::unidirectional_ring(self.n).expect("n >= 1 was validated"))
+            .delay_shared(Arc::clone(&self.delay))
+            .clocks(self.clocks)
+            .fifo(self.fifo)
+            .seed(self.seed)
     }
 
     fn limits(&self) -> RunLimits {

@@ -53,7 +53,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::collections::{BTreeMap, BinaryHeap};
@@ -270,11 +270,10 @@ where
             let thread_start = Instant::now();
 
             let dispatch = |proto: &mut P,
-                                rng: &mut abe_sim::Xoshiro256PlusPlus,
-                                delay_rng: &mut abe_sim::Xoshiro256PlusPlus,
-                                event: NodeEvent<P::Message>| {
-                let local_time =
-                    thread_start.elapsed().as_secs_f64() / time_scale.as_secs_f64();
+                            rng: &mut abe_sim::Xoshiro256PlusPlus,
+                            delay_rng: &mut abe_sim::Xoshiro256PlusPlus,
+                            event: NodeEvent<P::Message>| {
+                let local_time = thread_start.elapsed().as_secs_f64() / time_scale.as_secs_f64();
                 let mut ctx = Ctx::external(
                     local_time,
                     network_size,
@@ -286,9 +285,7 @@ where
                 match event {
                     NodeEvent::Start => proto.on_start(&mut ctx),
                     NodeEvent::Tick => proto.on_tick(&mut ctx),
-                    NodeEvent::Message(port, msg) => {
-                        proto.on_message(InPort(port), msg, &mut ctx)
-                    }
+                    NodeEvent::Message(port, msg) => proto.on_message(InPort(port), msg, &mut ctx),
                 }
                 let effects = ctx.finish();
                 for (port, msg) in effects.sends {
@@ -331,8 +328,7 @@ where
                 if proto.wants_tick() {
                     if next_tick.is_none() {
                         let stride = proto.tick_stride(&mut rng).max(1);
-                        next_tick =
-                            Some(Instant::now() + time_scale.mul_f64(stride as f64));
+                        next_tick = Some(Instant::now() + time_scale.mul_f64(stride as f64));
                     }
                 } else {
                     next_tick = None;

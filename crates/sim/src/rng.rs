@@ -263,7 +263,14 @@ mod tests {
         // splitmix64.c by Sebastiano Vigna.
         let mut sm = SplitMix64::new(1234567);
         let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
-        assert_eq!(got, vec![6457827717110365317, 3203168211198807973, 9817491932198370423]);
+        assert_eq!(
+            got,
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
+        );
     }
 
     #[test]

@@ -336,7 +336,10 @@ mod tests {
     fn duration_since_checked_and_saturating() {
         let a = SimTime::from_secs(1.0);
         let b = SimTime::from_secs(3.0);
-        assert_eq!(b.checked_duration_since(a), Some(SimDuration::from_secs(2.0)));
+        assert_eq!(
+            b.checked_duration_since(a),
+            Some(SimDuration::from_secs(2.0))
+        );
         assert_eq!(a.checked_duration_since(b), None);
         assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
     }

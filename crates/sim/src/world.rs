@@ -396,10 +396,7 @@ mod tests {
         );
         let report = sim.run(RunLimits::unbounded());
         assert_eq!(report.events_processed, 4);
-        assert_eq!(
-            sim.world().log,
-            vec![(1.25, 0), (1.5, 1), (1.75, 2)]
-        );
+        assert_eq!(sim.world().log, vec![(1.25, 0), (1.5, 1), (1.75, 2)]);
     }
 
     #[test]

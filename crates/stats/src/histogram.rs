@@ -101,7 +101,11 @@ impl fmt::Display for Histogram {
             writeln!(f, "{:>10.3} | {:<40} {}", self.bin_lo(i), bar, count)?;
         }
         if self.underflow > 0 || self.overflow > 0 {
-            writeln!(f, "(underflow {}, overflow {})", self.underflow, self.overflow)?;
+            writeln!(
+                f,
+                "(underflow {}, overflow {})",
+                self.underflow, self.overflow
+            )?;
         }
         Ok(())
     }

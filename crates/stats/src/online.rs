@@ -127,10 +127,10 @@ impl Online {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.mean = (self.count as f64 * self.mean + other.count as f64 * other.mean)
-            / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean =
+            (self.count as f64 * self.mean + other.count as f64 * other.mean) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);

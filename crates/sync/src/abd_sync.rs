@@ -122,7 +122,12 @@ impl<P: PulseProtocol> Protocol for AbdSynchronizer<P> {
         }
     }
 
-    fn on_message(&mut self, from: InPort, envelope: AbdEnvelope<P::Message>, ctx: &mut Ctx<'_, Self::Message>) {
+    fn on_message(
+        &mut self,
+        from: InPort,
+        envelope: AbdEnvelope<P::Message>,
+        ctx: &mut Ctx<'_, Self::Message>,
+    ) {
         // A round-r message is on time while the receiver has not yet fired
         // pulse r+1 (i.e. next_round <= r+1).
         if self.next_round > envelope.round + 1 {

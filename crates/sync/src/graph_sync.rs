@@ -206,7 +206,8 @@ mod tests {
         // Theorem 1 floor, met with equality on the unidirectional ring.
         let n = 16u64;
         let rounds = 20u64;
-        let (report, _) = run_heartbeat(Topology::unidirectional_ring(n as u32).unwrap(), rounds, 2);
+        let (report, _) =
+            run_heartbeat(Topology::unidirectional_ring(n as u32).unwrap(), rounds, 2);
         // Every node sends one envelope per round except after its last
         // pulse (the final round sends nothing).
         assert_eq!(report.messages_sent, n * (rounds - 1));
@@ -277,7 +278,12 @@ mod tests {
         struct Stopper;
         impl PulseProtocol for Stopper {
             type Message = ();
-            fn on_pulse(&mut self, round: u64, _inbox: &[(InPort, ())], ctx: &mut PulseCtx<'_, ()>) {
+            fn on_pulse(
+                &mut self,
+                round: u64,
+                _inbox: &[(InPort, ())],
+                ctx: &mut PulseCtx<'_, ()>,
+            ) {
                 if round == 3 {
                     ctx.request_stop();
                 }

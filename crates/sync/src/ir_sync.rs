@@ -165,11 +165,9 @@ mod tests {
     use abe_core::Topology;
 
     fn run_native(n: u32, seed: u64) -> (crate::SyncReport, usize) {
-        let mut runner = SyncRunner::new(
-            Topology::unidirectional_ring(n).unwrap(),
-            seed,
-            |_| IrSync::new(n).unwrap(),
-        );
+        let mut runner = SyncRunner::new(Topology::unidirectional_ring(n).unwrap(), seed, |_| {
+            IrSync::new(n).unwrap()
+        });
         let report = runner.run(100_000);
         let leaders = runner.protocols().filter(|p| p.is_leader()).count();
         (report, leaders)
@@ -235,11 +233,10 @@ mod tests {
     fn collisions_force_extra_phases() {
         let mut saw_multi = false;
         for seed in 0..40 {
-            let mut runner = SyncRunner::new(
-                Topology::unidirectional_ring(2).unwrap(),
-                seed,
-                |_| IrSync::new(2).unwrap(),
-            );
+            let mut runner =
+                SyncRunner::new(Topology::unidirectional_ring(2).unwrap(), seed, |_| {
+                    IrSync::new(2).unwrap()
+                });
             runner.run(100_000);
             if runner.protocols().any(|p| p.phases_started() > 1) {
                 saw_multi = true;

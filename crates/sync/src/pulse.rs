@@ -200,7 +200,9 @@ impl<P: PulseProtocol> SyncRunner<P> {
         let seeds = SeedStream::new(seed);
         Self {
             nodes: (0..n).map(&mut factory).collect(),
-            rngs: (0..n).map(|i| seeds.stream("sync-node", i as u64)).collect(),
+            rngs: (0..n)
+                .map(|i| seeds.stream("sync-node", i as u64))
+                .collect(),
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             topo,
             round: 0,
@@ -366,14 +368,10 @@ mod tests {
     }
 
     fn flood_runner(n: u32) -> SyncRunner<Flood> {
-        SyncRunner::new(
-            Topology::unidirectional_ring(n).unwrap(),
-            0,
-            |i| Flood {
-                informed: i == 0,
-                announced: false,
-            },
-        )
+        SyncRunner::new(Topology::unidirectional_ring(n).unwrap(), 0, |i| Flood {
+            informed: i == 0,
+            announced: false,
+        })
     }
 
     #[test]
@@ -404,7 +402,12 @@ mod tests {
         struct StopAtThree;
         impl PulseProtocol for StopAtThree {
             type Message = ();
-            fn on_pulse(&mut self, round: u64, _inbox: &[(InPort, ())], ctx: &mut PulseCtx<'_, ()>) {
+            fn on_pulse(
+                &mut self,
+                round: u64,
+                _inbox: &[(InPort, ())],
+                ctx: &mut PulseCtx<'_, ()>,
+            ) {
                 if round == 3 {
                     ctx.request_stop();
                 }
@@ -412,11 +415,9 @@ mod tests {
                 ctx.send(OutPort(0), ());
             }
         }
-        let mut runner = SyncRunner::new(
-            Topology::unidirectional_ring(4).unwrap(),
-            0,
-            |_| StopAtThree,
-        );
+        let mut runner = SyncRunner::new(Topology::unidirectional_ring(4).unwrap(), 0, |_| {
+            StopAtThree
+        });
         let report = runner.run(100);
         assert!(report.stopped);
         assert_eq!(report.rounds, 4); // rounds 0..=3 executed

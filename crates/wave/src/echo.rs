@@ -270,6 +270,9 @@ mod tests {
             let (report, _) = net.run(RunLimits::unbounded());
             report.end_time.as_secs()
         };
-        assert!(big < 3.0, "star echo should finish in ~2 delays, took {big}");
+        assert!(
+            big < 3.0,
+            "star echo should finish in ~2 delays, took {big}"
+        );
     }
 }

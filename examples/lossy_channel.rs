@@ -21,7 +21,13 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Lossy channels: average transmissions = 1/p (paper §1, case iii) ==\n");
 
-    let mut table = Table::new(&["p", "1/p", "measured attempts", "measured delay", "max delay seen"]);
+    let mut table = Table::new(&[
+        "p",
+        "1/p",
+        "measured attempts",
+        "measured delay",
+        "max delay seen",
+    ]);
     for &p in &[0.9, 0.5, 0.25, 0.1] {
         let channel = Retransmission::new(p, 1.0)?;
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);

@@ -17,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(&["family", "analytic mean", "sample mean", "p99", "bounded?"]);
     for (label, model) in standard_families(2.0) {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
-        let samples: Vec<f64> = (0..100_000).map(|_| model.sample(&mut rng).as_secs()).collect();
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| model.sample(&mut rng).as_secs())
+            .collect();
         let acc: Online = samples.iter().copied().collect();
         table.row(&[
             label.to_string(),
@@ -42,11 +44,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let zero = Deterministic::zero();
 
     let exp = Exponential::from_mean(2.0)?;
-    println!("exponential(mean 2) against ABE(δ=2):  {:?}", abe.validate(&exp, &clocks, &zero).is_ok());
-    println!("exponential(mean 2) against ABD(B=2):  {:?}", abd.validate(&exp, &clocks, &zero));
+    println!(
+        "exponential(mean 2) against ABE(δ=2):  {:?}",
+        abe.validate(&exp, &clocks, &zero).is_ok()
+    );
+    println!(
+        "exponential(mean 2) against ABD(B=2):  {:?}",
+        abd.validate(&exp, &clocks, &zero)
+    );
     let det = Deterministic::new(2.0)?;
-    println!("deterministic(2)    against ABD(B=2):  {:?}", abd.validate(&det, &ClockSpec::perfect(), &zero).is_ok());
-    println!("deterministic(2)    against ABE(δ=2):  {:?} (ABD ⊂ ABE)\n", abe.validate(&det, &clocks, &zero).is_ok());
+    println!(
+        "deterministic(2)    against ABD(B=2):  {:?}",
+        abd.validate(&det, &ClockSpec::perfect(), &zero).is_ok()
+    );
+    println!(
+        "deterministic(2)    against ABE(δ=2):  {:?} (ABD ⊂ ABE)\n",
+        abe.validate(&det, &clocks, &zero).is_ok()
+    );
 
     println!("== Clock drift (Definition 1.2) ==\n");
     let spec = ClockSpec::new(0.5, 2.0, DriftMode::Wander)?;

@@ -32,12 +32,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== ABE ring election (n = {n}, seed = {seed}) ==");
     println!("outcome:            {}", report.outcome);
-    println!("virtual time:       {:.2} time units ({:.2} per node)",
+    println!(
+        "virtual time:       {:.2} time units ({:.2} per node)",
         report.end_time.as_secs(),
-        report.end_time.as_secs() / n as f64);
-    println!("messages sent:      {} ({:.2} per node)",
+        report.end_time.as_secs() / n as f64
+    );
+    println!(
+        "messages sent:      {} ({:.2} per node)",
         report.messages_sent,
-        report.messages_sent as f64 / n as f64);
+        report.messages_sent as f64 / n as f64
+    );
     println!("activations:        {}", report.counter("activations"));
     println!("knockouts:          {}", report.counter("knockouts"));
     println!("collision purges:   {}", report.counter("purges"));

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let distances = topology.bfs_distances(NodeId::new(0));
 
     println!("== Sensor grid: {width}x{height} torus, Pareto delays, drifting clocks ==\n");
-    println!("nodes: {n}, edges: {}, diameter: {:?}", topology.edge_count(), topology.diameter());
+    println!(
+        "nodes: {n}, edges: {}, diameter: {:?}",
+        topology.edge_count(),
+        topology.diameter()
+    );
 
     let rounds = u64::from(width + height + 2);
     let network = NetworkBuilder::new(topology)
@@ -39,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (report, network) = network.run(RunLimits::unbounded());
 
-    println!("outcome: {}, virtual time {:.1}", report.outcome, report.end_time.as_secs());
+    println!(
+        "outcome: {}, virtual time {:.1}",
+        report.outcome,
+        report.end_time.as_secs()
+    );
     println!(
         "synchroniser cost: {} envelopes over {} node-pulses ({:.1} msgs per round, n = {n})",
         report.counter("envelopes"),
@@ -54,8 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             correct += 1;
         }
     }
-    println!("\nsynchronous semantics check: {correct}/{n} nodes informed exactly at their BFS distance");
-    assert_eq!(correct, n as usize, "synchronised flooding must match BFS rounds");
+    println!(
+        "\nsynchronous semantics check: {correct}/{n} nodes informed exactly at their BFS distance"
+    );
+    assert_eq!(
+        correct, n as usize,
+        "synchronised flooding must match BFS rounds"
+    );
     println!("the synchroniser preserved lock-step rounds over a heavy-tailed, drifting network —");
     println!("at the unavoidable Theorem 1 price of >= n messages per round.");
     Ok(())

@@ -61,10 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             let net = builder.build(|_| AbdSynchronizer::new(Chatter, rounds))?;
             let (report, _) = net.run(RunLimits::unbounded());
-            let rate = report.counter("violations") as f64
-                / report.counter("app-messages").max(1) as f64;
+            let rate =
+                report.counter("violations") as f64 / report.counter("app-messages").max(1) as f64;
             table.row(&[
-                if bounded { "bounded (ABD-legal)" } else { "exponential (ABE)" }.to_string(),
+                if bounded {
+                    "bounded (ABD-legal)"
+                } else {
+                    "exponential (ABE)"
+                }
+                .to_string(),
                 fmt_num(phi),
                 format!("{rate:.5}"),
             ]);

@@ -51,12 +51,12 @@
 //! behind `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use abe_core as core;
 pub use abe_election as election;
-pub use abe_sim as sim;
 pub use abe_live as live;
+pub use abe_sim as sim;
 pub use abe_stats as stats;
 pub use abe_sync as sync;
 pub use abe_wave as wave;

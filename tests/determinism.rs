@@ -24,9 +24,11 @@ fn different_seeds_differ() {
     let outcomes: Vec<f64> = (0..10)
         .map(|seed| run_abe_calibrated(&RingConfig::new(48).seed(seed), 1.0).time)
         .collect();
-    let distinct: std::collections::BTreeSet<u64> =
-        outcomes.iter().map(|t| t.to_bits()).collect();
-    assert!(distinct.len() >= 9, "seeds should yield distinct executions");
+    let distinct: std::collections::BTreeSet<u64> = outcomes.iter().map(|t| t.to_bits()).collect();
+    assert!(
+        distinct.len() >= 9,
+        "seeds should yield distinct executions"
+    );
 }
 
 #[test]
@@ -55,11 +57,9 @@ fn synchronizer_runs_reproducible() {
 #[test]
 fn native_sync_runner_reproducible() {
     let run = |seed: u64| {
-        let mut runner = SyncRunner::new(
-            Topology::unidirectional_ring(16).unwrap(),
-            seed,
-            |_| IrSync::new(16).unwrap(),
-        );
+        let mut runner = SyncRunner::new(Topology::unidirectional_ring(16).unwrap(), seed, |_| {
+            IrSync::new(16).unwrap()
+        });
         runner.run(1_000_000)
     };
     assert_eq!(run(5), run(5));

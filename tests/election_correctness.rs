@@ -88,7 +88,10 @@ fn extreme_activation_budgets_still_elect() {
         // Very lazy: long waits, still terminates.
         let lazy = run_abe_calibrated(&RingConfig::new(16).seed(seed), 0.05);
         assert_eq!(lazy.leaders, 1, "lazy seed={seed}");
-        assert!(lazy.time > eager.time * 0.1, "lazy should not be faster by 10x");
+        assert!(
+            lazy.time > eager.time * 0.1,
+            "lazy should not be faster by 10x"
+        );
     }
 }
 

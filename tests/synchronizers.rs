@@ -20,8 +20,7 @@ fn synchronized_flood_matches_native_flood() {
         // Native reference.
         let mut native = SyncRunner::new(topo.clone(), 0, |i| Flood::new(i == 0));
         native.run(1000);
-        let native_rounds: Vec<Option<u64>> =
-            native.protocols().map(|p| p.informed_at()).collect();
+        let native_rounds: Vec<Option<u64>> = native.protocols().map(|p| p.informed_at()).collect();
 
         // Over the synchroniser on an ABE network with heavy-tailed delays.
         for seed in 0..3 {
@@ -31,8 +30,7 @@ fn synchronized_flood_matches_native_flood() {
                 .build(|i| GraphSynchronizer::new(Flood::new(i == 0), 64))
                 .unwrap();
             let (_, net) = net.run(RunLimits::unbounded());
-            let synced: Vec<Option<u64>> =
-                net.protocols().map(|p| p.app().informed_at()).collect();
+            let synced: Vec<Option<u64>> = net.protocols().map(|p| p.app().informed_at()).collect();
             assert_eq!(synced, native_rounds, "{name} seed={seed}");
         }
     }
@@ -95,7 +93,11 @@ fn abd_synchronizer_separates_the_models() {
         let (report, _) = net.run(RunLimits::unbounded());
         report.counter("violations")
     };
-    assert_eq!(run(true), 0, "bounded delay must be violation-free at 4x the bound");
+    assert_eq!(
+        run(true),
+        0,
+        "bounded delay must be violation-free at 4x the bound"
+    );
     assert!(run(false) > 0, "unbounded delay must violate eventually");
 }
 

@@ -1,0 +1,342 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so `abe-bench`'s criterion
+//! dependency is satisfied by this shim. It implements the subset of the
+//! API the benches use — [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`Throughput`], [`criterion_group!`],
+//! [`criterion_main!`] — with a plain wall-clock measurement loop: warm up
+//! for `warm_up_time`, then take `sample_size` samples within
+//! `measurement_time` and report mean / best per-iteration latency (plus
+//! derived throughput). No statistics engine, no plots, no baselines; for
+//! publication-grade numbers swap in the real crate.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmark result.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-rate unit attached to a benchmark, used to derive throughput from
+/// the measured time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Uses the parameter alone as the identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the wall-clock budget for the untimed warm-up.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let cfg = self.clone();
+        run_one(&cfg, name, None, f);
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work rate of subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let label = format!("{}/{}", self.name, id);
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &label, self.throughput, f);
+    }
+
+    /// Runs a benchmark that borrows a per-parameter input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &label, self.throughput, |b| f(b, input));
+    }
+
+    /// Finishes the group (kept for API compatibility; reporting here is
+    /// incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    cfg: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Warm-up: repeat single iterations until the budget elapses, tracking
+    // the per-iteration estimate for batch sizing.
+    let warm_start = Instant::now();
+    let mut estimate = Duration::ZERO;
+    let mut warm_iters = 0u64;
+    loop {
+        bencher.iters = 1;
+        f(&mut bencher);
+        estimate += bencher.elapsed;
+        warm_iters += 1;
+        if warm_start.elapsed() >= cfg.warm_up_time {
+            break;
+        }
+    }
+    let per_iter_estimate = (estimate / warm_iters.max(1) as u32).max(Duration::from_nanos(1));
+
+    // Size each sample so all samples together fit the measurement budget.
+    let per_sample = cfg.measurement_time / cfg.sample_size.min(u32::MAX as usize) as u32;
+    let batch = (per_sample.as_nanos() / per_iter_estimate.as_nanos().max(1))
+        .clamp(1, u128::from(u64::MAX)) as u64;
+
+    // Iteration counts can exceed u32, so per-iteration times are derived
+    // in u128 nanoseconds rather than with `Duration / u32`.
+    let per_iter = |elapsed: Duration, iters: u64| -> Duration {
+        let nanos = elapsed.as_nanos() / u128::from(iters.max(1));
+        Duration::from_nanos(nanos.min(u128::from(u64::MAX)) as u64)
+    };
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut best = Duration::MAX;
+    let run_start = Instant::now();
+    for _ in 0..cfg.sample_size {
+        bencher.iters = batch;
+        f(&mut bencher);
+        total += bencher.elapsed;
+        total_iters += batch;
+        best = best.min(per_iter(bencher.elapsed, batch));
+        if run_start.elapsed() >= cfg.measurement_time {
+            break;
+        }
+    }
+
+    let mean = per_iter(total, total_iters);
+    let rate = |per_iter: Duration| -> String {
+        match throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!(" ({:.3} Melem/s)", n as f64 / per_iter.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!(
+                    " ({:.3} MiB/s)",
+                    n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        }
+    };
+    println!(
+        "bench: {label:<50} mean {mean:>12?}{} best {best:>12?}{} [{total_iters} iters]",
+        rate(mean),
+        rate(best),
+    );
+}
+
+/// Declares a group of benchmark functions plus the harness configuration
+/// used to run them. Both the plain and the `name`/`config`/`targets`
+/// forms of the real macro are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Expands to `fn main` running the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut ran = 0u64;
+        fast().bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_with_input_and_throughput() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                seen += n;
+                n * 2
+            })
+        });
+        group.finish();
+        assert!(seen >= 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    criterion_group!(plain_group, noop_bench);
+    criterion_group!(
+        name = configured_group;
+        config = Criterion::default()
+            .sample_size(1)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = noop_bench
+    );
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("noop");
+        group.bench_function("id", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn both_macro_forms_expand_and_run() {
+        plain_group();
+        configured_group();
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container has no network access, so the `crossbeam` dependency
+//! of `abe-live` is satisfied by this shim: an unbounded MPMC channel
+//! ([`channel::unbounded`]) with clonable senders *and* receivers, blocking
+//! receive with timeout, and the same disconnect semantics the real crate
+//! has (a receive on an empty channel whose senders are all gone reports
+//! [`channel::RecvTimeoutError::Disconnected`]). Built on
+//! `std::sync::{Mutex, Condvar}`; throughput is far below real crossbeam,
+//! which is fine for the thread-per-node demonstration runtime.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Creates an unbounded FIFO channel; both halves are clonable.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    /// Carries the unsent message back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The channel stayed empty for the whole timeout.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, waking one blocked receiver. Fails only when
+        /// every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake receivers so they can observe the disconnect.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives, every sender disconnects, or
+        /// `timeout` elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            // Huge timeouts (e.g. `Duration::MAX` as a block-forever
+            // sentinel) would overflow `Instant + Duration`; treat an
+            // unrepresentable deadline as "wait indefinitely".
+            let deadline = Instant::now().checked_add(timeout);
+            let mut state = self.inner.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let wait = match deadline {
+                    Some(deadline) if now >= deadline => {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    Some(deadline) => deadline - now,
+                    // No representable deadline: wake periodically so the
+                    // loop still observes disconnects promptly.
+                    None => Duration::from_secs(3600),
+                };
+                let (guard, _) = self
+                    .inner
+                    .ready
+                    .wait_timeout(state, wait)
+                    .expect("channel poisoned");
+                state = guard;
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.state.lock().expect("channel poisoned").receivers -= 1;
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn fifo_within_a_single_producer() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..100 {
+                assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(i));
+            }
+        }
+
+        #[test]
+        fn timeout_on_empty_channel() {
+            let (tx, rx) = unbounded::<u8>();
+            let err = rx.recv_timeout(Duration::from_millis(10));
+            assert_eq!(err, Err(RecvTimeoutError::Timeout));
+            drop(tx);
+        }
+
+        #[test]
+        fn disconnect_when_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let producer = thread::spawn(move || {
+                for i in 0..1000u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while got.len() < 1000 {
+                got.push(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+            }
+            producer.join().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, (0..1000).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn max_duration_timeout_does_not_overflow() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::MAX), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::MAX),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let a = rx1.recv_timeout(Duration::from_secs(1)).unwrap();
+            let b = rx2.recv_timeout(Duration::from_secs(1)).unwrap();
+            let mut both = [a, b];
+            both.sort_unstable();
+            assert_eq!(both, [1, 2]);
+        }
+    }
+}

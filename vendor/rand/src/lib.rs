@@ -1,0 +1,495 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container for this workspace has no network access, so the
+//! `rand` dependency is satisfied by this in-repo shim exposing exactly the
+//! trait layer the workspace uses: [`TryRng`] (fallible core), [`Rng`]
+//! (infallible core, blanket-implemented for infallible [`TryRng`]s),
+//! [`RngExt`] (`random` / `random_range` / `random_bool`), and
+//! [`SeedableRng`]. All generators in the workspace are defined in
+//! `abe-sim`; this crate contains no generator of its own, so swapping the
+//! shim for the real crates.io release only changes the trait paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{Rng, RngExt, SeedableRng, TryRng};
+//!
+//! /// A counting "generator" — good enough to exercise the trait layer.
+//! struct Counter(u64);
+//!
+//! impl TryRng for Counter {
+//!     type Error = core::convert::Infallible;
+//!     fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+//!         Ok((self.try_next_u64()? >> 32) as u32)
+//!     }
+//!     fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+//!         self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+//!         Ok(self.0)
+//!     }
+//!     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+//!         rand::fill_bytes_via_next(self, dest);
+//!         Ok(())
+//!     }
+//! }
+//!
+//! impl SeedableRng for Counter {
+//!     type Seed = [u8; 8];
+//!     fn from_seed(seed: Self::Seed) -> Self {
+//!         Counter(u64::from_le_bytes(seed))
+//!     }
+//! }
+//!
+//! let mut a = Counter::seed_from_u64(7);
+//! let mut b = Counter::seed_from_u64(7);
+//! assert_eq!(a.random::<u64>(), b.random::<u64>());
+//! assert!(a.random_range(0..10u32) < 10);
+//! let _coin: bool = b.random_bool(0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use core::convert::Infallible;
+use core::ops::{Range, RangeInclusive};
+
+/// A fallible random number generator: the core trait every generator in
+/// the workspace implements.
+pub trait TryRng {
+    /// The error type returned by a failed draw (workspace generators use
+    /// [`Infallible`]).
+    type Error;
+
+    /// Returns the next 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Returns the next 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dest` with random bytes.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random number generator.
+///
+/// Blanket-implemented for every [`TryRng`] whose error is [`Infallible`],
+/// so workspace generators get it for free.
+pub trait Rng {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T: TryRng<Error = Infallible>> Rng for T {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        unwrap_infallible(self.try_next_u32())
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        unwrap_infallible(self.try_next_u64())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        unwrap_infallible(self.try_fill_bytes(dest));
+    }
+}
+
+#[inline]
+fn unwrap_infallible<T>(r: Result<T, Infallible>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Fills `dest` from repeated `try_next_u64` calls — a helper for
+/// implementing [`TryRng::try_fill_bytes`].
+pub fn fill_bytes_via_next<R: TryRng<Error = Infallible> + ?Sized>(rng: &mut R, dest: &mut [u8]) {
+    let mut i = 0;
+    while i < dest.len() {
+        let word = unwrap_infallible(rng.try_next_u64()).to_le_bytes();
+        let n = (dest.len() - i).min(8);
+        dest[i..i + n].copy_from_slice(&word[..n]);
+        i += n;
+    }
+}
+
+/// Convenience draws on top of [`Rng`]: typed uniform values, ranges, and
+/// Bernoulli coins. Blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a uniformly distributed value of type `T`.
+    ///
+    /// Integers are uniform over their whole domain, `f64`/`f32` over
+    /// `[0, 1)`, and `bool` is a fair coin.
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: Rng> RngExt for T {}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)` (high 53 bits).
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types drawable uniformly over a canonical domain via
+/// [`RngExt::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_uniform_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardUniform for i128 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardUniform for f32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges drawable via [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from `self`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = u64::from(self.end - self.start);
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = u64::from(hi - lo) + 1;
+                lo + bounded_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+sample_range_uint!(u8, u16, u32);
+
+macro_rules! sample_range_wide_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+sample_range_wide_uint!(u64, usize);
+
+macro_rules! sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                let x = self.start + u * (self.end - self.start);
+                // Float rounding (f64→f32 narrowing, or round-to-even on
+                // power-of-two spans) can land exactly on `end`; keep the
+                // half-open contract by stepping just below it.
+                if x >= self.end {
+                    self.end.next_down().max(self.start)
+                } else {
+                    x
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                // Scale by the half-open unit draw; the closed upper end is
+                // hit only up to rounding, which matches rand's behaviour
+                // closely enough for simulation parameters.
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+sample_range_float!(f32, f64);
+
+/// Draws a uniform value in `[0, span)` using the multiply-shift method
+/// (bias ≤ `span / 2^64`, negligible for simulation-sized spans).
+#[inline]
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it to a full seed with
+    /// SplitMix64 (any `u64` — including 0 — yields a valid seed).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl TryRng for Lcg {
+        type Error = Infallible;
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((unwrap_infallible(self.try_next_u64()) >> 32) as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Ok(self.0)
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            fill_bytes_via_next(self, dest);
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = Lcg::seed_from_u64(42);
+        let mut b = Lcg::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = Lcg::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = Lcg::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.random_range(1..=6);
+            assert!((1..=6).contains(&y));
+            let z: usize = rng.random_range(0..=0);
+            assert_eq!(z, 0);
+            let f: f64 = rng.random_range(-2.0..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let s: i64 = rng.random_range(-10..=10);
+            assert!((-10..=10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn random_range_covers_the_support() {
+        let mut rng = Lcg::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_f64_is_half_open() {
+        let mut rng = Lcg::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = Lcg::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_partial_words() {
+        let mut rng = Lcg::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn exclusive_float_range_never_returns_the_end() {
+        // f64→f32 narrowing rounds u ∈ (1 − 2⁻²⁵, 1) up to 1.0; the result
+        // must still stay strictly below the exclusive upper bound.
+        let mut rng = Lcg::seed_from_u64(7);
+        for _ in 0..2_000_000 {
+            let x: f32 = rng.random_range(0.0f32..1.0);
+            assert!(x < 1.0, "exclusive range returned its end");
+        }
+        // Power-of-two f64 span: round-to-even can hit the span exactly.
+        for _ in 0..100_000 {
+            let x: f64 = rng.random_range(0.0f64..2.0);
+            assert!(x < 2.0);
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_works() {
+        let mut rng = Lcg::seed_from_u64(6);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+        let _: i64 = rng.random_range(i64::MIN..=i64::MAX);
+    }
+}
