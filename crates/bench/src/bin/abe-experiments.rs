@@ -3,17 +3,27 @@
 //! ```text
 //! abe-experiments                 # run everything at quick scale
 //! abe-experiments --full          # paper-scale sweeps
+//! abe-experiments --smoke         # minimal grids (CI perf gate)
 //! abe-experiments e1 e4 e6        # a subset
+//! abe-experiments --threads 8     # sweep-engine worker count
+//! abe-experiments --json PATH     # machine-readable output (see below)
 //! abe-experiments --list          # show the registry
 //! abe-experiments --out FILE      # additionally write markdown to FILE
 //! abe-experiments --csv DIR       # additionally write one CSV per experiment
 //! ```
+//!
+//! `--json PATH` emits one self-describing document per experiment
+//! (schema `abe-bench/sweep-v1`): if exactly one experiment is selected
+//! and `PATH` ends in `.json` it is written to that file, otherwise
+//! `PATH` is treated as a directory receiving `<id>.json` per experiment.
+//! The `"sweep"` block of each document is byte-identical for any
+//! `--threads` value.
 
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use abe_bench::{registry, Scale};
+use abe_bench::{registry, sweep, RunCtx, Scale};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +31,8 @@ fn main() -> ExitCode {
     let mut selected: Vec<String> = Vec::new();
     let mut out_file: Option<String> = None;
     let mut csv_dir: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut threads: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut list_only = false;
 
     let mut iter = args.into_iter();
@@ -28,7 +40,22 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--smoke" => scale = Scale::Smoke,
             "--list" => list_only = true,
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a file or directory path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match iter.next() {
                 Some(path) => out_file = Some(path),
                 None => {
@@ -75,12 +102,35 @@ fn main() -> ExitCode {
         .filter(|e| selected.is_empty() || selected.iter().any(|s| s == e.id))
         .collect();
 
+    // Single-file JSON mode only makes sense for a single experiment.
+    if let Some(path) = &json_path {
+        if path.ends_with(".json") && to_run.len() != 1 {
+            eprintln!(
+                "--json {path}: a .json file path needs exactly one selected experiment \
+                 ({} selected); pass a directory instead",
+                to_run.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let ctx = RunCtx::new(scale, threads);
     let mut rendered = String::new();
     for e in to_run {
         let started = Instant::now();
-        eprintln!("running {} ({}) ...", e.id, e.about);
-        let report = (e.run)(scale);
-        eprintln!("  done in {:.1?}", started.elapsed());
+        eprintln!(
+            "running {} ({}) [{} scale, {threads} threads] ...",
+            e.id,
+            e.about,
+            scale.name()
+        );
+        let report = (e.run)(&ctx);
+        eprintln!(
+            "  done in {:.1?} ({} cells, sweep {:.1?})",
+            started.elapsed(),
+            report.sweep.cells.len(),
+            report.sweep.wall_clock
+        );
         let section = report.to_string();
         println!("{section}");
         rendered.push_str(&section);
@@ -101,6 +151,19 @@ fn main() -> ExitCode {
                 }
             }
         }
+        if let Some(path) = &json_path {
+            let document = sweep::json::document(&report, scale.name());
+            let target = if path.ends_with(".json") {
+                path.clone()
+            } else {
+                format!("{path}/{}.json", e.id)
+            };
+            if let Err(err) = write_creating_dirs(&target, document.as_bytes()) {
+                eprintln!("failed to write {target}: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("  wrote {target}");
+        }
     }
 
     if let Some(path) = out_file {
@@ -116,11 +179,27 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Writes `bytes` to `path`, creating missing parent directories.
+fn write_creating_dirs(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::File::create(path).and_then(|mut f| f.write_all(bytes))
+}
+
 fn print_help() {
     println!(
         "abe-experiments — regenerate the ABE-networks evaluation\n\n\
-         USAGE:\n  abe-experiments [--full|--quick] [--list] [--out FILE] [--csv DIR] [IDS...]\n\n\
+         USAGE:\n  abe-experiments [--full|--quick|--smoke] [--threads N] [--json PATH]\n\
+                  [--list] [--out FILE] [--csv DIR] [IDS...]\n\n\
          IDS: e1 .. e13 (default: all). See DESIGN.md section 5 for the\n\
-         experiment-to-paper-claim mapping."
+         experiment-to-paper-claim mapping.\n\n\
+         --smoke     minimal grids (CI perf gate)\n\
+         --threads N sweep-engine worker count (default: all cores);\n\
+                     results are bit-identical for any N\n\
+         --json PATH one self-describing JSON document per experiment\n\
+                     (single .json file for one experiment, else a directory)"
     );
 }

@@ -10,41 +10,57 @@ use abe_core::clock::{ClockSpec, DriftMode};
 use abe_election::run_abe_calibrated;
 use abe_stats::{fmt_num, Table};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::{aggregate, ring};
+use super::{election_stats, ring};
 
 use super::e1_messages::{A, DELTA};
 
+/// The clock populations probed: `(s_low, s_high, drift mode)` with
+/// ratios 1, 2, 4, 10, centred near rate 1. The `(1, 1, Wander)` combo is
+/// omitted — it is identical to `Fixed`.
+const SPECS: [(f64, f64, DriftMode); 7] = [
+    (1.0, 1.0, DriftMode::Fixed),
+    (0.7, 1.4, DriftMode::Fixed),
+    (0.7, 1.4, DriftMode::Wander),
+    (0.5, 2.0, DriftMode::Fixed),
+    (0.5, 2.0, DriftMode::Wander),
+    (0.3, 3.0, DriftMode::Fixed),
+    (0.3, 3.0, DriftMode::Wander),
+];
+
 /// Runs E10.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let n = scale.pick(64u32, 256);
-    let reps = scale.pick(30, 150);
-    // (s_low, s_high) with ratios 1, 2, 4, 10, centred near rate 1.
-    let specs: &[(f64, f64)] = &[(1.0, 1.0), (0.7, 1.4), (0.5, 2.0), (0.3, 3.0)];
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let n = ctx.scale.pick3(32u32, 64, 256);
+    let reps = ctx.scale.pick3(8, 30, 150);
+
+    let labels: Vec<String> = SPECS
+        .iter()
+        .map(|(lo, hi, mode)| format!("[{lo}, {hi}] {mode:?}"))
+        .collect();
+    let spec = SweepSpec::new().axis_str("clocks", &labels).seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let (lo, hi, mode) = SPECS[cell.idx("clocks")];
+        let clock_spec = ClockSpec::new(lo, hi, mode).expect("valid bounds");
+        let o = run_abe_calibrated(&ring(n, DELTA, cell.seed()).clocks(clock_spec), A);
+        CellMetrics::new().with_election(&o)
+    });
 
     let mut table = Table::new(&["clocks [s_low, s_high]", "drift", "msgs/n", "time/(n·δ)"]);
     let mut ratios = Vec::new();
 
-    for &(lo, hi) in specs {
-        for mode in [DriftMode::Fixed, DriftMode::Wander] {
-            if lo == hi && mode == DriftMode::Wander {
-                continue; // identical to Fixed
-            }
-            let spec = ClockSpec::new(lo, hi, mode).expect("valid bounds");
-            let (messages, time, leaders) = aggregate(reps, |seed| {
-                run_abe_calibrated(&ring(n, DELTA, seed).clocks(spec), A)
-            });
-            assert_eq!(leaders.mean(), 1.0);
-            let ratio = time.mean() / (n as f64 * DELTA);
-            ratios.push(ratio);
-            table.row(&[
-                format!("[{lo}, {hi}]"),
-                format!("{mode:?}"),
-                fmt_num(messages.mean() / n as f64),
-                fmt_num(ratio),
-            ]);
-        }
+    for group in outcome.groups() {
+        let (lo, hi, mode) = SPECS[group.idx("clocks")];
+        let (messages, time) = election_stats(&group);
+        let ratio = time.mean() / (f64::from(n) * DELTA);
+        ratios.push(ratio);
+        table.row(&[
+            format!("[{lo}, {hi}]"),
+            format!("{mode:?}"),
+            fmt_num(messages.mean() / f64::from(n)),
+            fmt_num(ratio),
+        ]);
     }
 
     let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
@@ -65,6 +81,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"bounds 0 < s_low ≤ s_high on the speed of the local clocks are known\" (Definition 1.2)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
@@ -74,7 +91,7 @@ mod tests {
 
     #[test]
     fn quick_run_covers_drift_modes() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         assert_eq!(report.table.row_count(), 7);
     }
 }

@@ -15,12 +15,13 @@
 use abe_core::delay::Exponential;
 use abe_core::{NetworkBuilder, Topology};
 use abe_sim::RunLimits;
-use abe_stats::{fit_power_law, fmt_num, Online, Table};
+use abe_stats::{fit_power_law, fmt_num, Table};
 use abe_sync::{GraphSynchronizer, IrSync};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::{aggregate, ring};
+use super::{election_stats, ring};
 
 use super::e1_messages::{A, DELTA};
 
@@ -38,9 +39,27 @@ fn run_ir_over_synchronizer(n: u32, seed: u64) -> (u64, bool) {
 }
 
 /// Runs E11.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let sizes: &[u32] = scale.pick(&[8, 16, 32][..], &[8, 16, 32, 64, 128][..]);
-    let reps = scale.pick(10, 40);
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let sizes: &[u32] = ctx
+        .scale
+        .pick3(&[8, 16][..], &[8, 16, 32][..], &[8, 16, 32, 64, 128][..]);
+    let reps = ctx.scale.pick3(5, 10, 40);
+
+    let spec = SweepSpec::new()
+        .axis_str("algorithm", &["native-abe", "ir-over-sync"])
+        .axis_u32("n", sizes)
+        .seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let n = cell.u32("n");
+        if cell.idx("algorithm") == 0 {
+            let o = run_abe_calibrated_local(n, cell.seed());
+            CellMetrics::new().with_election(&o)
+        } else {
+            let (messages, elected) = run_ir_over_synchronizer(n, cell.seed());
+            assert!(elected, "IR over synchroniser must elect");
+            CellMetrics::new().metric("messages", messages as f64)
+        }
+    });
 
     let mut table = Table::new(&[
         "n",
@@ -50,20 +69,17 @@ pub fn run(scale: Scale) -> ExperimentReport {
     ]);
     let mut overhead_series = Vec::new();
 
-    for &n in sizes {
-        let (native, _, leaders) = aggregate(reps, |seed| run_abe_calibrated_local(n, seed));
-        assert_eq!(leaders.mean(), 1.0);
-        let mut synced = Online::new();
-        for seed in 0..reps {
-            let (messages, elected) = run_ir_over_synchronizer(n, seed);
-            assert!(
-                elected,
-                "IR over synchroniser must elect (n={n}, seed={seed})"
-            );
-            synced.push(messages as f64);
-        }
+    for (ni, &n) in sizes.iter().enumerate() {
+        let native_group = outcome
+            .group_at(&[("algorithm", 0), ("n", ni)])
+            .expect("complete grid");
+        let synced_group = outcome
+            .group_at(&[("algorithm", 1), ("n", ni)])
+            .expect("complete grid");
+        let (native, _) = election_stats(&native_group);
+        let synced = synced_group.online("messages");
         let overhead = synced.mean() / native.mean();
-        overhead_series.push((n as f64, overhead));
+        overhead_series.push((f64::from(n), overhead));
         table.row(&[
             n.to_string(),
             fmt_num(native.mean()),
@@ -90,6 +106,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"we cannot run synchronous algorithms in ABE networks without losing the message complexity\" (§2)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 

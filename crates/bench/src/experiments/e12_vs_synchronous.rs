@@ -11,19 +11,47 @@
 //! and normalised time: both linear, with constants of the same order.
 
 use abe_core::Topology;
-use abe_stats::{best_growth, fmt_num, Online, Table};
+use abe_stats::{best_growth, fmt_num, Table};
 use abe_sync::{IrSync, SyncRunner};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::{aggregate, ring};
+use super::{election_stats, ring};
 
 use super::e1_messages::{A, DELTA};
 
 /// Runs E12.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let sizes: &[u32] = scale.pick(&[8, 16, 32, 64][..], &[8, 16, 32, 64, 128, 256, 512][..]);
-    let reps = scale.pick(25, 100);
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let sizes: &[u32] = ctx.scale.pick3(
+        &[8, 16, 32][..],
+        &[8, 16, 32, 64][..],
+        &[8, 16, 32, 64, 128, 256, 512][..],
+    );
+    let reps = ctx.scale.pick3(8, 25, 100);
+
+    let spec = SweepSpec::new()
+        .axis_str("algorithm", &["sync-ir", "abe"])
+        .axis_u32("n", sizes)
+        .seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let n = cell.u32("n");
+        if cell.idx("algorithm") == 0 {
+            let mut runner = SyncRunner::new(
+                Topology::unidirectional_ring(n).expect("n >= 1"),
+                cell.seed(),
+                |_| IrSync::new(n).expect("n >= 1"),
+            );
+            let report = runner.run(1_000_000);
+            assert!(report.stopped, "sync IR must elect");
+            CellMetrics::new()
+                .metric("messages", report.messages as f64)
+                .metric("rounds", report.rounds as f64)
+        } else {
+            let o = abe_election::run_abe_calibrated(&ring(n, DELTA, cell.seed()), A);
+            CellMetrics::new().with_election(&o)
+        }
+    });
 
     let mut table = Table::new(&[
         "n",
@@ -35,32 +63,24 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut ir_series = Vec::new();
     let mut abe_series = Vec::new();
 
-    for &n in sizes {
-        let mut ir_messages = Online::new();
-        let mut ir_rounds = Online::new();
-        for seed in 0..reps {
-            let mut runner = SyncRunner::new(
-                Topology::unidirectional_ring(n).expect("n >= 1"),
-                seed,
-                |_| IrSync::new(n).expect("n >= 1"),
-            );
-            let report = runner.run(1_000_000);
-            assert!(report.stopped, "sync IR must elect (n={n}, seed={seed})");
-            ir_messages.push(report.messages as f64);
-            ir_rounds.push(report.rounds as f64);
-        }
-        let (abe_messages, abe_time, leaders) = aggregate(reps, |seed| {
-            abe_election::run_abe_calibrated(&ring(n, DELTA, seed), A)
-        });
-        assert_eq!(leaders.mean(), 1.0);
-        ir_series.push((n as f64, ir_messages.mean()));
-        abe_series.push((n as f64, abe_messages.mean()));
+    for (ni, &n) in sizes.iter().enumerate() {
+        let ir_group = outcome
+            .group_at(&[("algorithm", 0), ("n", ni)])
+            .expect("complete grid");
+        let abe_group = outcome
+            .group_at(&[("algorithm", 1), ("n", ni)])
+            .expect("complete grid");
+        let ir_messages = ir_group.online("messages");
+        let ir_rounds = ir_group.online("rounds");
+        let (abe_messages, abe_time) = election_stats(&abe_group);
+        ir_series.push((f64::from(n), ir_messages.mean()));
+        abe_series.push((f64::from(n), abe_messages.mean()));
         table.row(&[
             n.to_string(),
-            fmt_num(ir_messages.mean() / n as f64),
-            fmt_num(ir_rounds.mean() / n as f64),
-            fmt_num(abe_messages.mean() / n as f64),
-            fmt_num(abe_time.mean() / (n as f64 * DELTA)),
+            fmt_num(ir_messages.mean() / f64::from(n)),
+            fmt_num(ir_rounds.mean() / f64::from(n)),
+            fmt_num(abe_messages.mean() / f64::from(n)),
+            fmt_num(abe_time.mean() / (f64::from(n) * DELTA)),
         ]);
     }
 
@@ -89,6 +109,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"its efficiency is comparable to the most optimal leader election algorithms known for anonymous, synchronous rings\" (§1)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
@@ -98,7 +119,7 @@ mod tests {
 
     #[test]
     fn abe_is_linear_and_ir_at_most_linearithmic() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         assert!(
             report.findings[0].contains("O(n)") || report.findings[0].contains("O(n log n)"),
             "{}",

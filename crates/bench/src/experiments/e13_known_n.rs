@@ -22,7 +22,8 @@ use abe_election::{AbeElection, ElectionState};
 use abe_sim::RunLimits;
 use abe_stats::Table;
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
 /// Outcome of one mis-specified run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,10 +68,19 @@ fn run_with_claimed_n(true_n: u32, claimed_n: u32, seed: u64) -> MisOutcome {
 }
 
 /// Runs E13.
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let true_n: u32 = 16;
-    let reps = scale.pick(20u64, 60);
+    let reps = ctx.scale.pick3(10u64, 20, 60);
     let claims: &[u32] = &[8, 12, 15, 16, 17, 24, 32];
+
+    let spec = SweepSpec::new().axis_u32("claimed", claims).seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let verdict = run_with_claimed_n(true_n, cell.u32("claimed"), cell.seed());
+        CellMetrics::new()
+            .counter("correct", u64::from(verdict == MisOutcome::Correct))
+            .counter("wrong", u64::from(verdict == MisOutcome::WrongElection))
+            .counter("none", u64::from(verdict == MisOutcome::NoLeader))
+    });
 
     let mut table = Table::new(&[
         "claimed n'",
@@ -82,17 +92,11 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut over_all_no_leader = true;
     let mut exact_all_correct = true;
 
-    for &claimed in claims {
-        let mut correct = 0u64;
-        let mut multi = 0u64;
-        let mut none = 0u64;
-        for seed in 0..reps {
-            match run_with_claimed_n(true_n, claimed, seed) {
-                MisOutcome::Correct => correct += 1,
-                MisOutcome::WrongElection => multi += 1,
-                MisOutcome::NoLeader => none += 1,
-            }
-        }
+    for group in outcome.groups() {
+        let claimed = group.value("claimed").as_u32();
+        let correct = group.counter_total("correct");
+        let multi = group.counter_total("wrong");
+        let none = group.counter_total("none");
         if claimed > true_n && none != reps {
             over_all_no_leader = false;
         }
@@ -131,6 +135,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"anonymous, unidirectional ABE rings of known size n\" (§1/§3)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 

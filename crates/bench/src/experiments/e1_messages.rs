@@ -9,9 +9,10 @@
 use abe_election::run_abe_calibrated;
 use abe_stats::{best_growth, fmt_num, Table};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::{aggregate, ring};
+use super::{election_stats, ring};
 
 /// Activation budget: expected wake-ups per ring traversal.
 pub const A: f64 = 1.0;
@@ -19,12 +20,21 @@ pub const A: f64 = 1.0;
 pub const DELTA: f64 = 1.0;
 
 /// Runs E1.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let sizes: &[u32] = scale.pick(
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let sizes: &[u32] = ctx.scale.pick3(
+        &[8, 16, 64][..],
         &[8, 16, 32, 64, 128, 256][..],
         &[8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096][..],
     );
-    let reps = scale.pick(40, 200);
+    let reps = ctx.scale.pick3(10, 40, 200);
+
+    let spec = SweepSpec::new().axis_u32("n", sizes).seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let o = run_abe_calibrated(&ring(cell.u32("n"), DELTA, cell.seed()), A);
+        CellMetrics::new()
+            .metric("knockouts", o.report.counter("knockouts") as f64)
+            .with_election(&o)
+    });
 
     let mut table = Table::new(&[
         "n",
@@ -34,25 +44,17 @@ pub fn run(scale: Scale) -> ExperimentReport {
         "knockouts/n",
     ]);
     let mut series = Vec::new();
-    for &n in sizes {
-        let mut knockouts = abe_stats::Online::new();
-        let (messages, _, leaders) = aggregate(reps, |seed| {
-            let o = run_abe_calibrated(&ring(n, DELTA, seed), A);
-            knockouts.push(o.report.counter("knockouts") as f64);
-            o
-        });
-        assert_eq!(
-            leaders.mean(),
-            1.0,
-            "every run must elect exactly one leader"
-        );
-        series.push((n as f64, messages.mean()));
+    for group in outcome.groups() {
+        let n = group.value("n").as_u32();
+        let (messages, _) = election_stats(&group);
+        let knockouts = group.online("knockouts");
+        series.push((f64::from(n), messages.mean()));
         table.row(&[
             n.to_string(),
             fmt_num(messages.mean()),
             fmt_num(messages.ci95_half_width()),
-            fmt_num(messages.mean() / n as f64),
-            fmt_num(knockouts.mean() / n as f64),
+            fmt_num(messages.mean() / f64::from(n)),
+            fmt_num(knockouts.mean() / f64::from(n)),
         ]);
     }
 
@@ -82,17 +84,18 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"a leader election algorithm ... having both (average) linear time and message complexity\" (§1)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abe_stats::GrowthModel;
+    use abe_stats::{GrowthModel, Online};
 
     #[test]
     fn quick_run_classifies_linear() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         assert_eq!(report.id, "E1");
         assert!(
             report.findings[0].contains("O(n)"),
@@ -100,16 +103,24 @@ mod tests {
             report.findings[0]
         );
         assert_eq!(report.table.row_count(), 6);
+        assert_eq!(report.sweep.cells.len(), 6 * 40);
         // Double-check via a direct fit at tiny scale.
         let series: Vec<(f64, f64)> = [8u32, 32, 128]
             .iter()
             .map(|&n| {
-                let (m, _, _) = super::super::aggregate(20, |seed| {
-                    run_abe_calibrated(&ring(n, DELTA, seed), A)
-                });
-                (n as f64, m.mean())
+                let messages: Online = (0..20)
+                    .map(|seed| run_abe_calibrated(&ring(n, DELTA, seed), A).messages as f64)
+                    .collect();
+                (f64::from(n), messages.mean())
             })
             .collect();
         assert_eq!(best_growth(&series).unwrap().model, GrowthModel::Linear);
+    }
+
+    #[test]
+    fn smoke_run_is_small_and_fast() {
+        let report = run(&RunCtx::smoke());
+        assert_eq!(report.table.row_count(), 3);
+        assert_eq!(report.sweep.cells.len(), 3 * 10);
     }
 }

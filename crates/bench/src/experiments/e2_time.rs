@@ -8,36 +8,40 @@
 use abe_election::run_abe_calibrated;
 use abe_stats::{best_growth, fmt_num, Table};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::{aggregate, ring};
+use super::{election_stats, ring};
 
 use super::e1_messages::{A, DELTA};
 
 /// Runs E2.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let sizes: &[u32] = scale.pick(
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let sizes: &[u32] = ctx.scale.pick3(
+        &[8, 16, 64][..],
         &[8, 16, 32, 64, 128, 256][..],
         &[8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096][..],
     );
-    let reps = scale.pick(40, 200);
+    let reps = ctx.scale.pick3(10, 40, 200);
+
+    let spec = SweepSpec::new().axis_u32("n", sizes).seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let o = run_abe_calibrated(&ring(cell.u32("n"), DELTA, cell.seed()), A);
+        CellMetrics::new().with_election(&o)
+    });
 
     let mut table = Table::new(&["n", "time (mean)", "±95% CI", "time/(n·δ)", "ticks (mean)"]);
     let mut series = Vec::new();
-    for &n in sizes {
-        let mut ticks = abe_stats::Online::new();
-        let (_, time, leaders) = aggregate(reps, |seed| {
-            let o = run_abe_calibrated(&ring(n, DELTA, seed), A);
-            ticks.push(o.ticks as f64);
-            o
-        });
-        assert_eq!(leaders.mean(), 1.0);
-        series.push((n as f64, time.mean()));
+    for group in outcome.groups() {
+        let n = group.value("n").as_u32();
+        let (_, time) = election_stats(&group);
+        let ticks = group.online("ticks");
+        series.push((f64::from(n), time.mean()));
         table.row(&[
             n.to_string(),
             fmt_num(time.mean()),
             fmt_num(time.ci95_half_width()),
-            fmt_num(time.mean() / (n as f64 * DELTA)),
+            fmt_num(time.mean() / (f64::from(n) * DELTA)),
             fmt_num(ticks.mean()),
         ]);
     }
@@ -68,6 +72,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"having both (average) linear time and message complexity\" (§1)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
@@ -77,7 +82,7 @@ mod tests {
 
     #[test]
     fn quick_run_classifies_linear() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         assert!(
             report.findings[0].contains("O(n)"),
             "{}",

@@ -5,7 +5,9 @@
 //! stays constant over time. This ensures that the algorithm has linear
 //! time and message complexity."
 //!
-//! Two parts:
+//! Two parts, expressed as one sweep grid over a `config` axis (the
+//! engine's combination filter keeps each config on its own valid `n`
+//! subset, and the constant-`A0` part runs fewer seeds):
 //!
 //! 1. **Budget sweep** — with the calibration `A0 = a/n²`, sweep the
 //!    per-traversal activation budget `a`: larger `a` trades messages
@@ -19,17 +21,66 @@
 use abe_election::{run_abe, run_abe_calibrated};
 use abe_stats::{fmt_num, Table};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::{aggregate, ring};
+use super::{election_stats, ring};
 
 use super::e1_messages::DELTA;
 
+/// Calibrated per-traversal activation budgets swept in part 1.
+const BUDGETS: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+/// Literal constant `A0` values probed in part 2.
+const CONSTS: [f64; 2] = [0.1, 0.3];
+
 /// Runs E3.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let reps = scale.pick(30, 150);
-    let budgets: &[f64] = &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
-    let ns: &[u32] = scale.pick(&[64u32, 128][..], &[64, 256][..]);
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let reps = ctx.scale.pick3(8, 30, 150);
+    let const_reps = reps.min(30);
+    let cal_ns: &'static [u32] = ctx.scale.pick3(&[64], &[64, 128], &[64, 256]);
+    let const_ns: &'static [u32] = ctx.scale.pick3(&[16, 64], &[16, 64], &[16, 64, 256]);
+    let mut ns: Vec<u32> = cal_ns.iter().chain(const_ns).copied().collect();
+    ns.sort_unstable();
+    ns.dedup();
+
+    let labels: Vec<String> = BUDGETS
+        .iter()
+        .map(|a| format!("A0 = {a}/n²"))
+        .chain(CONSTS.iter().map(|a0| format!("A0 = {a0} (const)")))
+        .collect();
+    let spec = SweepSpec::new()
+        .axis_str("config", &labels)
+        .axis_u32("n", &ns)
+        .seeds(reps)
+        .filter(|c| {
+            let valid: &[u32] = if c.idx("config") < BUDGETS.len() {
+                cal_ns
+            } else {
+                const_ns
+            };
+            valid.contains(&c.value("n").as_u32())
+        })
+        .seeds_for(move |c| {
+            if c.idx("config") < BUDGETS.len() {
+                u64::MAX
+            } else {
+                const_reps
+            }
+        });
+    let outcome = ctx.sweep(spec, |cell| {
+        let n = cell.u32("n");
+        let ci = cell.idx("config");
+        if ci < BUDGETS.len() {
+            let o = run_abe_calibrated(&ring(n, DELTA, cell.seed()), BUDGETS[ci]);
+            CellMetrics::new()
+                .metric("purges", o.report.counter("purges") as f64)
+                .metric("activations", o.report.counter("activations") as f64)
+                .with_election(&o)
+        } else {
+            let o = run_abe(&ring(n, DELTA, cell.seed()), CONSTS[ci - BUDGETS.len()]);
+            CellMetrics::new().with_election(&o)
+        }
+    });
 
     let mut table = Table::new(&[
         "config",
@@ -39,43 +90,41 @@ pub fn run(scale: Scale) -> ExperimentReport {
         "purges (mean)",
         "activations (mean)",
     ]);
+    let n_idx = |n: u32| ns.iter().position(|&x| x == n).expect("n in union grid");
 
-    // Part 1: calibrated budget sweep.
-    for &n in ns {
-        for &a in budgets {
-            let mut purges = abe_stats::Online::new();
-            let mut activations = abe_stats::Online::new();
-            let (messages, time, leaders) = aggregate(reps, |seed| {
-                let o = run_abe_calibrated(&ring(n, DELTA, seed), a);
-                purges.push(o.report.counter("purges") as f64);
-                activations.push(o.report.counter("activations") as f64);
-                o
-            });
-            assert_eq!(leaders.mean(), 1.0);
+    // Part 1: calibrated budget sweep (rows n-major, as in the paper table).
+    for &n in cal_ns {
+        for (ci, &a) in BUDGETS.iter().enumerate() {
+            let group = outcome
+                .group_at(&[("config", ci), ("n", n_idx(n))])
+                .expect("calibrated group exists");
+            let (messages, time) = election_stats(&group);
             table.row(&[
                 format!("A0 = {a}/n²"),
                 n.to_string(),
-                fmt_num(messages.mean() / n as f64),
-                fmt_num(time.mean() / (n as f64 * DELTA)),
-                fmt_num(purges.mean()),
-                fmt_num(activations.mean()),
+                fmt_num(messages.mean() / f64::from(n)),
+                fmt_num(time.mean() / (f64::from(n) * DELTA)),
+                fmt_num(group.mean("purges")),
+                fmt_num(group.mean("activations")),
             ]);
         }
     }
 
     // Part 2: the literal constant A0 of the brief announcement.
     let mut constant_ratio = Vec::new();
-    for &n in scale.pick(&[16u32, 64][..], &[16, 64, 256][..]) {
-        for &a0 in &[0.1, 0.3] {
-            let (messages, time, leaders) =
-                aggregate(reps.min(30), |seed| run_abe(&ring(n, DELTA, seed), a0));
-            assert_eq!(leaders.mean(), 1.0);
-            constant_ratio.push((n, a0, messages.mean() / n as f64));
+    for &n in const_ns {
+        for (offset, &a0) in CONSTS.iter().enumerate() {
+            let ci = BUDGETS.len() + offset;
+            let group = outcome
+                .group_at(&[("config", ci), ("n", n_idx(n))])
+                .expect("constant group exists");
+            let (messages, time) = election_stats(&group);
+            constant_ratio.push((n, a0, messages.mean() / f64::from(n)));
             table.row(&[
                 format!("A0 = {a0} (const)"),
                 n.to_string(),
-                fmt_num(messages.mean() / n as f64),
-                fmt_num(time.mean() / (n as f64 * DELTA)),
+                fmt_num(messages.mean() / f64::from(n)),
+                fmt_num(time.mean() / (f64::from(n) * DELTA)),
                 String::new(),
                 String::new(),
             ]);
@@ -102,6 +151,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"parameterised by a base activation parameter A0 ∈ (0,1) ... the overall wake-up probability for all nodes stays constant over time\" (§3)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
@@ -111,9 +161,11 @@ mod tests {
 
     #[test]
     fn quick_run_produces_both_parts() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         // 2 sizes × 6 budgets + 2 sizes × 2 constant-A0 rows.
         assert_eq!(report.table.row_count(), 16);
         assert_eq!(report.findings.len(), 2);
+        // Calibrated cells run 30 seeds, constant-A0 cells are capped at 30.
+        assert_eq!(report.sweep.cells.len(), 12 * 30 + 4 * 30);
     }
 }

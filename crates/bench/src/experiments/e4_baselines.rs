@@ -11,19 +11,39 @@
 use abe_election::{run_abe_calibrated, run_chang_roberts, run_itai_rodeh, run_peterson};
 use abe_stats::{best_growth, fmt_num, Table};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::{aggregate, ring};
+use super::{election_stats, ring};
 
 use super::e1_messages::{A, DELTA};
 
+/// The algorithm axis, in presentation order.
+const ALGORITHMS: [&str; 4] = ["abe", "itai-rodeh", "chang-roberts", "peterson"];
+
 /// Runs E4.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let sizes: &[u32] = scale.pick(
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let sizes: &[u32] = ctx.scale.pick3(
+        &[8, 16, 32][..],
         &[8, 16, 32, 64, 128][..],
         &[8, 16, 32, 64, 128, 256, 512, 1024][..],
     );
-    let reps = scale.pick(30, 150);
+    let reps = ctx.scale.pick3(8, 30, 150);
+
+    let spec = SweepSpec::new()
+        .axis_str("algorithm", &ALGORITHMS)
+        .axis_u32("n", sizes)
+        .seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let cfg = ring(cell.u32("n"), DELTA, cell.seed());
+        let o = match cell.idx("algorithm") {
+            0 => run_abe_calibrated(&cfg, A),
+            1 => run_itai_rodeh(&cfg),
+            2 => run_chang_roberts(&cfg),
+            _ => run_peterson(&cfg),
+        };
+        CellMetrics::new().with_election(&o)
+    });
 
     let mut table = Table::new(&[
         "n",
@@ -32,53 +52,41 @@ pub fn run(scale: Scale) -> ExperimentReport {
         "Chang-Roberts msgs/n",
         "Peterson msgs/n",
     ]);
-    let mut abe_series = Vec::new();
-    let mut ir_series = Vec::new();
-    let mut cr_series = Vec::new();
-    let mut pt_series = Vec::new();
+    let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); ALGORITHMS.len()];
 
-    for &n in sizes {
-        let (abe, _, l1) = aggregate(reps, |seed| run_abe_calibrated(&ring(n, DELTA, seed), A));
-        let (ir, _, l2) = aggregate(reps, |seed| run_itai_rodeh(&ring(n, DELTA, seed)));
-        let (cr, _, l3) = aggregate(reps, |seed| run_chang_roberts(&ring(n, DELTA, seed)));
-        let (pt, _, l4) = aggregate(reps, |seed| run_peterson(&ring(n, DELTA, seed)));
-        assert_eq!(
-            (l1.mean(), l2.mean(), l3.mean(), l4.mean()),
-            (1.0, 1.0, 1.0, 1.0)
-        );
-        abe_series.push((n as f64, abe.mean()));
-        ir_series.push((n as f64, ir.mean()));
-        cr_series.push((n as f64, cr.mean()));
-        pt_series.push((n as f64, pt.mean()));
-        table.row(&[
-            n.to_string(),
-            fmt_num(abe.mean() / n as f64),
-            fmt_num(ir.mean() / n as f64),
-            fmt_num(cr.mean() / n as f64),
-            fmt_num(pt.mean() / n as f64),
-        ]);
+    for (ni, &n) in sizes.iter().enumerate() {
+        let mut cells = vec![n.to_string()];
+        for (ai, per_alg) in series.iter_mut().enumerate() {
+            let group = outcome
+                .group_at(&[("algorithm", ai), ("n", ni)])
+                .expect("complete grid");
+            let (messages, _) = election_stats(&group);
+            per_alg.push((f64::from(n), messages.mean()));
+            cells.push(fmt_num(messages.mean() / f64::from(n)));
+        }
+        table.row(&cells);
     }
 
-    let abe_fit = best_growth(&abe_series).expect("non-empty");
-    let ir_fit = best_growth(&ir_series).expect("non-empty");
-    let cr_fit = best_growth(&cr_series).expect("non-empty");
-    let pt_fit = best_growth(&pt_series).expect("non-empty");
+    let fits: Vec<_> = series
+        .iter()
+        .map(|s| best_growth(s).expect("non-empty"))
+        .collect();
     let findings = vec![
         format!(
             "ABE election: best fit {} (c = {:.3})",
-            abe_fit.model, abe_fit.constant
+            fits[0].model, fits[0].constant
         ),
         format!(
             "Itai–Rodeh:   best fit {} (c = {:.3})",
-            ir_fit.model, ir_fit.constant
+            fits[1].model, fits[1].constant
         ),
         format!(
             "Chang–Roberts: best fit {} (c = {:.3})",
-            cr_fit.model, cr_fit.constant
+            fits[2].model, fits[2].constant
         ),
         format!(
             "Peterson:     best fit {} (c = {:.3})",
-            pt_fit.model, pt_fit.constant
+            fits[3].model, fits[3].constant
         ),
         "the baselines' msgs/n grow with log n while the ABE algorithm stays flat — the ABE \
          model buys past the Ω(n log n) asynchronous lower bound"
@@ -91,6 +99,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"For asynchronous rings, the lower bound on the message complexity for leader election is known to be Ω(n·log n)\" (§1)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
@@ -100,7 +109,7 @@ mod tests {
 
     #[test]
     fn quick_run_separates_abe_from_baselines() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         assert!(
             report.findings[0].contains("O(n)"),
             "{}",

@@ -5,31 +5,60 @@
 //! message delay is 1/p as well."
 //!
 //! We validate the analytic identity empirically (mean attempts and mean
-//! delay vs `1/p` over large samples), then run the election **on top of**
-//! retransmission channels to show the algorithm only needs the expected
-//! delay bound `δ = slot/p`: time/(n·δ) stays at the same constant as
-//! under exponential delays.
+//! delay vs `1/p` over large samples, sharded across the seed axis so the
+//! sampling parallelises with everything else), then run the election
+//! **on top of** retransmission channels to show the algorithm only needs
+//! the expected delay bound `δ = slot/p`: time/(n·δ) stays at the same
+//! constant as under exponential delays.
 
 use std::sync::Arc;
 
 use abe_core::delay::{DelayModel, Retransmission};
 use abe_election::{run_abe_calibrated, RingConfig};
-use abe_sim::Xoshiro256PlusPlus;
-use abe_stats::{fmt_num, Online, Table};
-use rand::SeedableRng;
+use abe_sim::SeedStream;
+use abe_stats::{fmt_num, Table};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::aggregate;
+use super::election_stats;
 
 use super::e1_messages::A;
 
 /// Runs E5.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let samples = scale.pick(50_000u64, 500_000);
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let ps: &[f64] = &[0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.95];
-    let election_n = scale.pick(64u32, 256);
-    let reps = scale.pick(25, 100);
+    let reps = ctx.scale.pick3(8, 25, 100);
+    let samples_per_cell = ctx.scale.pick3(1000u64, 2000, 5000);
+    let election_n = ctx.scale.pick3(32u32, 64, 256);
+    let total_samples = samples_per_cell * reps;
+
+    let spec = SweepSpec::new().axis_f64("p", ps).seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let p = cell.f64("p");
+        let model = Retransmission::new(p, 1.0).expect("valid p");
+
+        // This cell's shard of the attempt/delay sampling: every cell
+        // draws the same number of samples, so the mean of cell means is
+        // the global sample mean.
+        let mut rng = SeedStream::new(cell.seed()).stream("retransmission-samples", 0);
+        let mut attempts = abe_stats::Online::new();
+        let mut delay = abe_stats::Online::new();
+        for _ in 0..samples_per_cell {
+            attempts.push(model.sample_attempts(&mut rng) as f64);
+            delay.push(model.sample(&mut rng).as_secs());
+        }
+
+        // One election over this channel: δ = slot/p.
+        let cfg = RingConfig::new(election_n)
+            .delay(Arc::new(model))
+            .seed(cell.seed());
+        let o = run_abe_calibrated(&cfg, A);
+        CellMetrics::new()
+            .metric("attempts_mean", attempts.mean())
+            .metric("delay_mean", delay.mean())
+            .with_election(&o)
+    });
 
     let mut table = Table::new(&[
         "p",
@@ -40,43 +69,33 @@ pub fn run(scale: Scale) -> ExperimentReport {
     ]);
     let mut max_rel_err: f64 = 0.0;
 
-    for &p in ps {
-        let model = Retransmission::new(p, 1.0).expect("valid p");
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(p.to_bits());
-        let mut attempts = Online::new();
-        let mut delay = Online::new();
-        for _ in 0..samples {
-            attempts.push(model.sample_attempts(&mut rng) as f64);
-            delay.push(model.sample(&mut rng).as_secs());
-        }
+    for group in outcome.groups() {
+        let p = group.value("p").as_f64();
         let expect = 1.0 / p;
+        let attempts = group.mean("attempts_mean");
+        let delay = group.mean("delay_mean");
         max_rel_err = max_rel_err
-            .max((attempts.mean() - expect).abs() / expect)
-            .max((delay.mean() - expect).abs() / expect);
+            .max((attempts - expect).abs() / expect)
+            .max((delay - expect).abs() / expect);
 
-        // Election over this channel: δ = slot/p.
-        let delta = model.mean().as_secs();
-        let (_, time, leaders) = aggregate(reps, |seed| {
-            let cfg = RingConfig::new(election_n)
-                .delay(Arc::new(model))
-                .seed(seed);
-            run_abe_calibrated(&cfg, A)
-        });
-        assert_eq!(leaders.mean(), 1.0);
-
+        let delta = Retransmission::new(p, 1.0)
+            .expect("valid p")
+            .mean()
+            .as_secs();
+        let (_, time) = election_stats(&group);
         table.row(&[
             format!("{p}"),
             fmt_num(expect),
-            fmt_num(attempts.mean()),
-            fmt_num(delay.mean()),
-            fmt_num(time.mean() / (election_n as f64 * delta)),
+            fmt_num(attempts),
+            fmt_num(delay),
+            fmt_num(time.mean() / (f64::from(election_n) * delta)),
         ]);
     }
 
     let findings = vec![
         format!(
             "empirical mean attempts and delay match 1/p within {:.2}% across p ∈ [0.1, 0.95] \
-             ({samples} samples per point)",
+             ({total_samples} samples per point)",
             max_rel_err * 100.0
         ),
         format!(
@@ -92,16 +111,19 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"the average number of transmissions is k_avg = Σ(k+1)(1−p)^k·p = 1/p ... the average message delay is 1/p as well\" (§1 case iii)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abe_sim::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
 
     #[test]
     fn quick_run_matches_one_over_p() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         assert_eq!(report.table.row_count(), 7);
         // The first finding embeds the max relative error; re-derive a
         // bound by checking one p directly.

@@ -18,57 +18,83 @@ use abe_sim::{RunLimits, SeedStream};
 use abe_stats::{fmt_num, Table};
 use abe_sync::{GraphSynchronizer, Heartbeat};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
+
+/// The topology axis, in presentation order.
+const TOPOLOGIES: [&str; 5] = [
+    "uni-ring",
+    "bidi-ring",
+    "torus",
+    "erdos-renyi(0.3)",
+    "complete",
+];
+
+fn build_topology(kind: usize, n: u32) -> Topology {
+    match kind {
+        0 => Topology::unidirectional_ring(n).expect("n >= 1"),
+        1 => Topology::bidirectional_ring(n).expect("n >= 1"),
+        2 => Topology::torus(n / 4, 4).expect("dims >= 1"),
+        3 => {
+            let mut er_rng = SeedStream::new(77).stream("er-topo", u64::from(n));
+            Topology::erdos_renyi(n, 0.3, &mut er_rng, 50).expect("connected sample")
+        }
+        _ => Topology::complete(n.min(32)).expect("n >= 1"),
+    }
+}
 
 /// Runs E6.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let rounds: u64 = scale.pick(20, 100);
-    let sizes: &[u32] = scale.pick(&[16u32, 32][..], &[16, 64, 256][..]);
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let rounds: u64 = ctx.scale.pick3(20, 20, 100);
+    let sizes: &[u32] = ctx
+        .scale
+        .pick3(&[16][..], &[16, 32][..], &[16, 64, 256][..]);
+
+    let spec = SweepSpec::new()
+        .axis_str("topology", &TOPOLOGIES)
+        .axis_u32("n", sizes)
+        .seeds(1);
+    let outcome = ctx.sweep(spec, |cell| {
+        let topo = build_topology(cell.idx("topology"), cell.u32("n"));
+        let tn = f64::from(topo.node_count());
+        let edges = topo.edge_count() as u64;
+        let net = NetworkBuilder::new(topo)
+            .delay(Exponential::from_mean(1.0).expect("valid mean"))
+            .seed(cell.seed())
+            .build(|_| GraphSynchronizer::new(Heartbeat::new(), rounds))
+            .expect("valid build");
+        let (report, _) = net.run(RunLimits::unbounded());
+        // Envelopes are sent for rounds 0..rounds-1 (none after the
+        // final pulse), so divide by rounds-1 completed send-rounds.
+        let per_round = report.messages_sent as f64 / (rounds - 1) as f64;
+        CellMetrics::new()
+            .metric("nodes", tn)
+            .metric("msgs_per_round", per_round)
+            .metric("ratio", per_round / tn)
+            .counter("edges", edges)
+            .with_report(&report)
+    });
 
     let mut table = Table::new(&["topology", "n", "edges", "msgs/round", "msgs/round/n"]);
     let mut ring_ratios = Vec::new();
     let mut min_ratio = f64::INFINITY;
 
     for &n in sizes {
-        let mut er_rng = SeedStream::new(77).stream("er-topo", u64::from(n));
-        let topologies: Vec<(&str, Topology)> = vec![
-            (
-                "uni-ring",
-                Topology::unidirectional_ring(n).expect("n >= 1"),
-            ),
-            (
-                "bidi-ring",
-                Topology::bidirectional_ring(n).expect("n >= 1"),
-            ),
-            ("torus", Topology::torus(n / 4, 4).expect("dims >= 1")),
-            (
-                "erdos-renyi(0.3)",
-                Topology::erdos_renyi(n, 0.3, &mut er_rng, 50).expect("connected sample"),
-            ),
-            ("complete", Topology::complete(n.min(32)).expect("n >= 1")),
-        ];
-        for (name, topo) in topologies {
-            let tn = topo.node_count() as f64;
-            let edges = topo.edge_count();
-            let net = NetworkBuilder::new(topo)
-                .delay(Exponential::from_mean(1.0).expect("valid mean"))
-                .seed(u64::from(n))
-                .build(|_| GraphSynchronizer::new(Heartbeat::new(), rounds))
-                .expect("valid build");
-            let (report, _) = net.run(RunLimits::unbounded());
-            // Envelopes are sent for rounds 0..rounds-1 (none after the
-            // final pulse), so divide by rounds-1 completed send-rounds.
-            let per_round = report.messages_sent as f64 / (rounds - 1) as f64;
-            let ratio = per_round / tn;
+        let ni = sizes.iter().position(|&x| x == n).expect("size present");
+        for (ti, name) in TOPOLOGIES.iter().enumerate() {
+            let group = outcome
+                .group_at(&[("topology", ti), ("n", ni)])
+                .expect("complete grid");
+            let ratio = group.mean("ratio");
             min_ratio = min_ratio.min(ratio);
-            if name == "uni-ring" {
+            if ti == 0 {
                 ring_ratios.push(ratio);
             }
             table.row(&[
                 name.to_string(),
-                fmt_num(tn),
-                edges.to_string(),
-                fmt_num(per_round),
+                fmt_num(group.mean("nodes")),
+                group.counter_total("edges").to_string(),
+                fmt_num(group.mean("msgs_per_round")),
                 fmt_num(ratio),
             ]);
         }
@@ -98,6 +124,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"ABE networks of size n cannot be synchronised with fewer than n messages per round\" (Theorem 1)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
@@ -107,7 +134,7 @@ mod tests {
 
     #[test]
     fn quick_run_meets_floor() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         assert!(report.findings[0].contains("never below"));
         // Ring ratio is exactly 1.
         assert!(report.findings[1].contains("1.000"));

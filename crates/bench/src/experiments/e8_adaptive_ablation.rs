@@ -14,16 +14,37 @@
 use abe_election::{run_abe_calibrated, run_fixed};
 use abe_stats::{best_growth, fmt_num, Table};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::{aggregate, ring};
+use super::{election_stats, ring};
 
 use super::e1_messages::{A, DELTA};
 
 /// Runs E8.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let sizes: &[u32] = scale.pick(&[8, 16, 32, 64][..], &[8, 16, 32, 64, 128, 256][..]);
-    let reps = scale.pick(25, 100);
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let sizes: &[u32] = ctx.scale.pick3(
+        &[8, 16, 32][..],
+        &[8, 16, 32, 64][..],
+        &[8, 16, 32, 64, 128, 256][..],
+    );
+    let reps = ctx.scale.pick3(8, 25, 100);
+
+    let spec = SweepSpec::new()
+        .axis_str("wakeup", &["adaptive", "fixed"])
+        .axis_u32("n", sizes)
+        .seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let n = cell.u32("n");
+        let cfg = ring(n, DELTA, cell.seed());
+        let o = if cell.idx("wakeup") == 0 {
+            run_abe_calibrated(&cfg, A)
+        } else {
+            let a0 = A / (f64::from(n) * f64::from(n));
+            run_fixed(&cfg, a0)
+        };
+        CellMetrics::new().with_election(&o)
+    });
 
     let mut table = Table::new(&[
         "n",
@@ -36,20 +57,24 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut adaptive_series = Vec::new();
     let mut fixed_series = Vec::new();
 
-    for &n in sizes {
-        let a0 = A / (n as f64 * n as f64);
-        let (am, at, l1) = aggregate(reps, |seed| run_abe_calibrated(&ring(n, DELTA, seed), A));
-        let (fm, ft, l2) = aggregate(reps, |seed| run_fixed(&ring(n, DELTA, seed), a0));
-        assert_eq!((l1.mean(), l2.mean()), (1.0, 1.0));
-        adaptive_series.push((n as f64, at.mean()));
-        fixed_series.push((n as f64, ft.mean()));
+    for (ni, &n) in sizes.iter().enumerate() {
+        let adaptive = outcome
+            .group_at(&[("wakeup", 0), ("n", ni)])
+            .expect("complete grid");
+        let fixed = outcome
+            .group_at(&[("wakeup", 1), ("n", ni)])
+            .expect("complete grid");
+        let (am, at) = election_stats(&adaptive);
+        let (fm, ft) = election_stats(&fixed);
+        adaptive_series.push((f64::from(n), at.mean()));
+        fixed_series.push((f64::from(n), ft.mean()));
         table.row(&[
             n.to_string(),
-            fmt_num(at.mean() / (n as f64 * DELTA)),
-            fmt_num(ft.mean() / (n as f64 * DELTA)),
+            fmt_num(at.mean() / (f64::from(n) * DELTA)),
+            fmt_num(ft.mean() / (f64::from(n) * DELTA)),
             fmt_num(ft.mean() / at.mean()),
-            fmt_num(am.mean() / n as f64),
-            fmt_num(fm.mean() / n as f64),
+            fmt_num(am.mean() / f64::from(n)),
+            fmt_num(fm.mean() / f64::from(n)),
         ]);
     }
 
@@ -76,6 +101,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "\"By taking 1−(1−A0)^d(A) as wake-up probability ... the overall wake-up probability for all nodes stays constant over time. This ensures ... linear time and message complexity\" (§3)",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
@@ -85,7 +111,7 @@ mod tests {
 
     #[test]
     fn quick_run_shows_fixed_slowdown() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         assert!(
             report.findings[0].contains("O(n)"),
             "{}",

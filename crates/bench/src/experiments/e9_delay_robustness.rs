@@ -13,51 +13,64 @@ use abe_core::delay::standard_families;
 use abe_election::{run_abe_calibrated, RingConfig};
 use abe_stats::{fmt_num, Table};
 
-use crate::{ExperimentReport, Scale};
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
 
-use super::aggregate;
+use super::election_stats;
 
 use super::e1_messages::A;
 
 /// Runs E9.
-pub fn run(scale: Scale) -> ExperimentReport {
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
     // Mean 2.0 so the retransmission member (slot 1, p = 1/mean) is valid.
     let delta = 2.0;
-    let n = scale.pick(64u32, 256);
-    let reps = scale.pick(30, 150);
+    let n = ctx.scale.pick3(32u32, 64, 256);
+    let reps = ctx.scale.pick3(8, 30, 150);
+
+    let families = standard_families(delta);
+    let labels: Vec<&'static str> = families.iter().map(|(label, _)| *label).collect();
+    let models: Vec<_> = families.into_iter().map(|(_, model)| model).collect();
+
+    let spec = SweepSpec::new().axis_str("family", &labels).seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let model = &models[cell.idx("family")];
+        let cfg = RingConfig::new(n)
+            .delay(Arc::clone(model))
+            .seed(cell.seed());
+        let o = run_abe_calibrated(&cfg, A);
+        CellMetrics::new()
+            .metric(
+                "bounded",
+                f64::from(u8::from(model.upper_bound().is_some())),
+            )
+            .with_election(&o)
+    });
 
     let mut table = Table::new(&["delay family", "mean", "bounded?", "msgs/n", "time/(n·δ)"]);
     let mut time_ratios = Vec::new();
 
-    for (label, model) in standard_families(delta) {
-        let bounded = model.upper_bound().is_some();
-        let (messages, time, leaders) = aggregate(reps, |seed| {
-            let cfg = RingConfig::new(n).delay(Arc::clone(&model)).seed(seed);
-            run_abe_calibrated(&cfg, A)
-        });
-        assert_eq!(leaders.mean(), 1.0);
-        let ratio = time.mean() / (n as f64 * delta);
-        time_ratios.push((label, ratio));
+    for group in outcome.groups() {
+        let model = &models[group.idx("family")];
+        let (messages, time) = election_stats(&group);
+        let ratio = time.mean() / (f64::from(n) * delta);
+        time_ratios.push(ratio);
         table.row(&[
-            label.to_string(),
+            group.value("family").to_string(),
             fmt_num(model.mean().as_secs()),
-            if bounded {
-                "yes".into()
+            if model.upper_bound().is_some() {
+                "yes".to_string()
             } else {
                 "no".to_string()
             },
-            fmt_num(messages.mean() / n as f64),
+            fmt_num(messages.mean() / f64::from(n)),
             fmt_num(ratio),
         ]);
     }
 
-    let min = time_ratios
-        .iter()
-        .map(|(_, r)| *r)
-        .fold(f64::INFINITY, f64::min);
+    let min = time_ratios.iter().copied().fold(f64::INFINITY, f64::min);
     let max = time_ratios
         .iter()
-        .map(|(_, r)| *r)
+        .copied()
         .fold(f64::NEG_INFINITY, f64::max);
 
     let findings = vec![
@@ -77,6 +90,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "Definition 1 only assumes \"a bound δ on the expected message delay ... is known\"",
         table,
         findings,
+        sweep: outcome,
     }
 }
 
@@ -86,7 +100,7 @@ mod tests {
 
     #[test]
     fn quick_run_covers_all_families() {
-        let report = run(Scale::Quick);
+        let report = run(&RunCtx::quick());
         assert_eq!(report.table.row_count(), 8);
     }
 }

@@ -1,4 +1,9 @@
 //! The experiment implementations (one module per `EXPERIMENTS.md` entry).
+//!
+//! Every experiment declares its grid as a [`SweepSpec`](crate::sweep::SweepSpec),
+//! runs it through the engine via [`RunCtx::sweep`](crate::RunCtx::sweep)
+//! (one simulation per cell, seeded from the cell's grid coordinates), and
+//! derives its table and findings from the per-group aggregates.
 
 pub mod e10_clock_drift;
 pub mod e11_sync_overhead;
@@ -14,26 +19,10 @@ pub mod e7_abd_violations;
 pub mod e8_adaptive_ablation;
 pub mod e9_delay_robustness;
 
-use abe_election::{ElectionOutcome, RingConfig};
+use abe_election::RingConfig;
 use abe_stats::Online;
 
-/// Aggregates one election metric over `reps` seeded repetitions.
-pub(crate) fn aggregate(
-    reps: u64,
-    mut run: impl FnMut(u64) -> ElectionOutcome,
-) -> (Online, Online, Online) {
-    let mut messages = Online::new();
-    let mut time = Online::new();
-    let mut leaders = Online::new();
-    for seed in 0..reps {
-        let o = run(seed);
-        assert!(o.terminated, "run did not terminate within budget");
-        messages.push(o.messages as f64);
-        time.push(o.time);
-        leaders.push(o.leaders as f64);
-    }
-    (messages, time, leaders)
-}
+use crate::sweep::Group;
 
 /// Standard ring configuration used across election experiments:
 /// exponential delay with mean `delta`.
@@ -43,4 +32,19 @@ pub(crate) fn ring(n: u32, delta: f64, seed: u64) -> RingConfig {
             abe_core::delay::Exponential::from_mean(delta).expect("valid delta"),
         ))
         .seed(seed)
+}
+
+/// Pulls the standard election aggregates out of one sweep group,
+/// asserting every run in it elected exactly one leader.
+///
+/// Returns `(messages, time)` accumulators.
+pub(crate) fn election_stats(group: &Group<'_>) -> (Online, Online) {
+    let leaders = group.online("leaders");
+    assert_eq!(
+        leaders.mean(),
+        1.0,
+        "every run must elect exactly one leader ({})",
+        group.label()
+    );
+    (group.online("messages"), group.online("time"))
 }

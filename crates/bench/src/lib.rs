@@ -5,12 +5,19 @@
 //! so each experiment below is pinned to a **sentence** of the paper; the
 //! mapping lives in `DESIGN.md` §5.
 //!
+//! Every experiment runs on the parallel deterministic [`sweep`] engine: a
+//! declarative grid of configuration axes times a seed axis, executed by a
+//! worker pool, with per-cell seeds derived from grid coordinates so the
+//! measured numbers are bit-identical at any `--threads` setting.
+//!
 //! Run everything:
 //!
 //! ```text
 //! cargo run -p abe-bench --bin abe-experiments --release
 //! cargo run -p abe-bench --bin abe-experiments --release -- --full   # larger sweeps
 //! cargo run -p abe-bench --bin abe-experiments --release -- e1 e4    # a subset
+//! cargo run -p abe-bench --bin abe-experiments --release -- \
+//!     e1 --smoke --threads 2 --json out/e1.json                      # CI smoke
 //! ```
 //!
 //! Criterion micro-benches (kernel throughput, sampling, scaling) live in
@@ -20,14 +27,19 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod sweep;
 
 use std::fmt;
 
 use abe_stats::Table;
 
+use sweep::{CellMetrics, SweepOutcome, SweepSpec};
+
 /// How large a sweep to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Minimal grids for CI perf gates — a second or two in total.
+    Smoke,
     /// Small sweeps, a few seconds total — CI-friendly.
     Quick,
     /// Paper-scale sweeps (larger `n`, more repetitions).
@@ -35,16 +47,84 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Picks `quick` or `full` depending on the scale.
+    /// Picks `quick` or `full` depending on the scale; `Smoke` picks the
+    /// `quick` value (use [`Scale::pick3`] where smoke needs its own grid).
     pub fn pick<T>(self, quick: T, full: T) -> T {
         match self {
+            Scale::Smoke | Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// Picks between all three scales.
+    pub fn pick3<T>(self, smoke: T, quick: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
             Scale::Quick => quick,
             Scale::Full => full,
         }
     }
+
+    /// Lower-case scale name, as used on the CLI and in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
 }
 
-/// The output of one experiment: a rendered table plus prose findings.
+/// Execution context handed to every experiment: the sweep scale plus the
+/// engine configuration (worker count, base seed).
+#[derive(Debug, Clone, Copy)]
+pub struct RunCtx {
+    /// Grid scale to run at.
+    pub scale: Scale,
+    /// Worker threads for the sweep engine (1 = inline execution).
+    pub threads: usize,
+    /// Base seed mixed into every cell's derived seed.
+    pub base_seed: u64,
+}
+
+impl RunCtx {
+    /// A context at the given scale and worker count, base seed 0.
+    pub fn new(scale: Scale, threads: usize) -> Self {
+        Self {
+            scale,
+            threads,
+            base_seed: 0,
+        }
+    }
+
+    /// Single-threaded quick-scale context (the test default).
+    pub fn quick() -> Self {
+        Self::new(Scale::Quick, 1)
+    }
+
+    /// Single-threaded smoke-scale context.
+    pub fn smoke() -> Self {
+        Self::new(Scale::Smoke, 1)
+    }
+
+    /// Runs `spec` through the sweep engine with this context's settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell panics, with the failing cell's grid coordinates
+    /// in the message (see [`sweep::SweepError`]).
+    pub fn sweep(
+        &self,
+        spec: SweepSpec,
+        run: impl Fn(&sweep::Cell) -> CellMetrics + Send + Sync,
+    ) -> SweepOutcome {
+        let spec = spec.base_seed(self.base_seed);
+        sweep::run_sweep(&spec, self.threads, run).unwrap_or_else(|err| panic!("{err}"))
+    }
+}
+
+/// The output of one experiment: a rendered table, prose findings, and the
+/// underlying sweep data (cells, summaries, engine metadata) for JSON.
 #[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Identifier, e.g. `"E1"`.
@@ -57,6 +137,8 @@ pub struct ExperimentReport {
     pub table: Table,
     /// Conclusions (fits, pass/fail observations).
     pub findings: Vec<String>,
+    /// The raw sweep this report was derived from.
+    pub sweep: SweepOutcome,
 }
 
 impl fmt::Display for ExperimentReport {
@@ -82,7 +164,7 @@ pub struct Experiment {
     /// One-line description for `--list`.
     pub about: &'static str,
     /// Entry point.
-    pub run: fn(Scale) -> ExperimentReport,
+    pub run: fn(&RunCtx) -> ExperimentReport,
 }
 
 impl fmt::Debug for Experiment {
@@ -184,6 +266,51 @@ mod tests {
     fn scale_pick() {
         assert_eq!(Scale::Quick.pick(1, 2), 1);
         assert_eq!(Scale::Full.pick(1, 2), 2);
+        assert_eq!(Scale::Smoke.pick(1, 2), 1);
+        assert_eq!(Scale::Smoke.pick3(0, 1, 2), 0);
+        assert_eq!(Scale::Quick.pick3(0, 1, 2), 1);
+        assert_eq!(Scale::Full.pick3(0, 1, 2), 2);
+    }
+
+    #[test]
+    fn scale_names() {
+        assert_eq!(Scale::Smoke.name(), "smoke");
+        assert_eq!(Scale::Quick.name(), "quick");
+        assert_eq!(Scale::Full.name(), "full");
+    }
+
+    #[test]
+    fn run_ctx_constructors() {
+        let ctx = RunCtx::quick();
+        assert_eq!(ctx.scale, Scale::Quick);
+        assert_eq!(ctx.threads, 1);
+        assert_eq!(ctx.base_seed, 0);
+        assert_eq!(RunCtx::smoke().scale, Scale::Smoke);
+    }
+
+    #[test]
+    fn ctx_sweep_applies_base_seed() {
+        let mut ctx = RunCtx::quick();
+        ctx.base_seed = 99;
+        let outcome = ctx.sweep(SweepSpec::new().axis_u32("n", &[1]).seeds(1), |cell| {
+            CellMetrics::new().metric("seed", cell.seed() as f64)
+        });
+        assert_eq!(outcome.base_seed, 99);
+        let other = RunCtx::quick().sweep(SweepSpec::new().axis_u32("n", &[1]).seeds(1), |cell| {
+            CellMetrics::new().metric("seed", cell.seed() as f64)
+        });
+        assert_ne!(
+            outcome.cells[0].metrics.get("seed"),
+            other.cells[0].metrics.get("seed")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rep=0")]
+    fn ctx_sweep_panics_with_coordinates() {
+        RunCtx::quick().sweep(SweepSpec::new().axis_u32("n", &[3]).seeds(1), |_| {
+            panic!("cell exploded")
+        });
     }
 
     #[test]
@@ -196,6 +323,7 @@ mod tests {
             claim: "testing",
             table,
             findings: vec!["looks fine".into()],
+            sweep: SweepOutcome::default(),
         };
         let s = report.to_string();
         assert!(s.contains("## E0"));

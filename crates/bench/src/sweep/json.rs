@@ -1,0 +1,140 @@
+//! Self-describing JSON documents for experiment sweeps.
+//!
+//! No serde is available in the build container, so the harness renders
+//! JSON by hand. Determinism is part of the format's contract: everything
+//! under the `"sweep"` key is a pure function of the sweep specification
+//! (see [`SweepOutcome::metrics_json`](super::SweepOutcome::metrics_json)),
+//! so two runs with different `--threads` settings differ only in the
+//! `"engine"` block.
+//!
+//! Document shape (schema `abe-bench/sweep-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "abe-bench/sweep-v1",
+//!   "experiment": "e1",
+//!   "title": "...",
+//!   "claim": "...",
+//!   "scale": "smoke",
+//!   "engine": {"threads": 2, "base_seed": 0, "cell_count": 30,
+//!              "wall_clock_seconds": 0.41},
+//!   "findings": ["..."],
+//!   "table_csv": "n,messages...\n...",
+//!   "sweep": {"base_seed": 0, "axes": [...], "cells": [...], "groups": [...]}
+//! }
+//! ```
+
+use crate::ExperimentReport;
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a string as a quoted JSON string literal.
+pub fn json_str(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders the complete self-describing document for one experiment.
+///
+/// `scale` is the harness scale name (`smoke` / `quick` / `full`). The
+/// `"sweep"` block is byte-identical across worker counts; the `"engine"`
+/// block records how this particular run was executed.
+pub fn document(report: &ExperimentReport, scale: &str) -> String {
+    let findings: Vec<String> = report.findings.iter().map(|f| json_str(f)).collect();
+    format!(
+        "{{\"schema\":\"abe-bench/sweep-v1\",\
+         \"experiment\":{experiment},\
+         \"title\":{title},\
+         \"claim\":{claim},\
+         \"scale\":{scale},\
+         \"engine\":{{\"threads\":{threads},\"base_seed\":{base_seed},\
+         \"cell_count\":{cell_count},\"wall_clock_seconds\":{wall}}},\
+         \"findings\":[{findings}],\
+         \"table_csv\":{table},\
+         \"sweep\":{sweep}}}",
+        experiment = json_str(&report.id.to_ascii_lowercase()),
+        title = json_str(report.title),
+        claim = json_str(report.claim),
+        scale = json_str(scale),
+        threads = report.sweep.threads,
+        base_seed = report.sweep.base_seed,
+        cell_count = report.sweep.cells.len(),
+        wall = abe_stats::json_f64(report.sweep.wall_clock.as_secs_f64()),
+        findings = findings.join(","),
+        table = json_str(&report.table.to_csv()),
+        sweep = report.sweep.metrics_json(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, CellMetrics, SweepSpec};
+    use crate::ExperimentReport;
+    use abe_stats::Table;
+
+    fn sample_report() -> ExperimentReport {
+        let spec = SweepSpec::new().axis_u32("n", &[2, 4]).seeds(2);
+        let sweep = run_sweep(&spec, 1, |cell| {
+            CellMetrics::new().metric("m", f64::from(cell.u32("n")))
+        })
+        .unwrap();
+        let mut table = Table::new(&["n", "m"]);
+        table.row(&["2", "2"]);
+        ExperimentReport {
+            id: "E0",
+            title: "sample \"quoted\" title",
+            claim: "line one\nline two",
+            table,
+            findings: vec!["found α".to_string()],
+            sweep,
+        }
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\n\t\r"), "x\\n\\t\\r");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("αβ"), "αβ");
+    }
+
+    #[test]
+    fn document_embeds_all_sections() {
+        let doc = document(&sample_report(), "quick");
+        assert!(doc.starts_with("{\"schema\":\"abe-bench/sweep-v1\""));
+        assert!(doc.contains("\"experiment\":\"e0\""));
+        assert!(doc.contains("\"scale\":\"quick\""));
+        assert!(doc.contains("\"title\":\"sample \\\"quoted\\\" title\""));
+        assert!(doc.contains("\"claim\":\"line one\\nline two\""));
+        assert!(doc.contains("\"cell_count\":4"));
+        assert!(doc.contains("\"findings\":[\"found α\"]"));
+        assert!(doc.contains("\"sweep\":{\"base_seed\":0"));
+    }
+
+    #[test]
+    fn sweep_block_is_thread_count_independent() {
+        let spec = SweepSpec::new().axis_u32("n", &[2, 4]).seeds(3);
+        let run = |cell: &crate::sweep::Cell| {
+            CellMetrics::new().metric("m", f64::from(cell.u32("n")) + cell.rep() as f64)
+        };
+        let a = run_sweep(&spec, 1, run).unwrap();
+        let b = run_sweep(&spec, 8, run).unwrap();
+        assert_eq!(a.metrics_json(), b.metrics_json());
+    }
+}

@@ -16,8 +16,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use abe_sim::{
-    EventToken, RunLimits, RunOutcome, SimTime, Simulation, StepCtx, TraceBuffer, World,
-    Xoshiro256PlusPlus,
+    EventToken, QueueStats, RunLimits, RunOutcome, SimTime, Simulation, StepCtx, TraceBuffer,
+    World, Xoshiro256PlusPlus,
 };
 
 use crate::clock::LocalClock;
@@ -74,6 +74,9 @@ pub struct NetworkReport {
     pub in_flight: u64,
     /// Local clock ticks dispatched.
     pub ticks: u64,
+    /// Kernel event-queue telemetry (scheduled/cancelled/popped) for the
+    /// whole run, so harness output can report raw engine activity.
+    pub queue_stats: QueueStats,
     /// Experiment counters accumulated via [`Ctx::count`].
     pub counters: BTreeMap<&'static str, u64>,
 }
@@ -237,6 +240,7 @@ impl<P: Protocol> Network<P> {
             messages_delivered: net.messages_delivered,
             in_flight: net.messages_sent - net.messages_delivered,
             ticks: net.ticks,
+            queue_stats: kernel_report.queue_stats,
             counters: net.counters.clone(),
         };
         (report, net)

@@ -70,6 +70,26 @@ pub struct QueueStats {
     pub popped: u64,
 }
 
+impl QueueStats {
+    /// Events still pending: scheduled but neither cancelled nor popped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use abe_sim::QueueStats;
+    ///
+    /// let stats = QueueStats {
+    ///     scheduled: 10,
+    ///     cancelled: 2,
+    ///     popped: 5,
+    /// };
+    /// assert_eq!(stats.live(), 3);
+    /// ```
+    pub fn live(&self) -> u64 {
+        self.scheduled - self.cancelled - self.popped
+    }
+}
+
 /// A priority queue of future events ordered by `(time, sequence)`.
 ///
 /// # Examples
@@ -292,6 +312,27 @@ mod tests {
         assert_eq!(s.scheduled, 2);
         assert_eq!(s.cancelled, 1);
         assert_eq!(s.popped, 1);
+    }
+
+    #[test]
+    fn stats_live_tracks_pending() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        q.schedule(t(3.0), ());
+        assert_eq!(q.stats().live(), 3);
+        q.cancel(a);
+        q.pop();
+        assert_eq!(q.stats().live(), 1);
+        assert_eq!(q.stats().live(), q.len() as u64);
+    }
+
+    #[test]
+    fn stats_live_is_zero_when_drained() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), ());
+        q.pop();
+        assert_eq!(q.stats().live(), 0);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * [`classify_growth`] / [`best_growth`] — model selection among
 //!   `O(1)`, `O(n)`, `O(n log n)`, `O(n²)` fitted through the origin;
 //! * [`Histogram`] / [`quantile`] — distribution readouts;
+//! * [`Summary`] — plain-data metric snapshots with deterministic JSON
+//!   rendering (consumed by the sweep engine's machine-readable output);
 //! * [`Table`] — paper-style ASCII/markdown table rendering.
 //!
 //! ## Example
@@ -35,6 +37,7 @@
 mod histogram;
 mod online;
 mod regression;
+mod summary;
 mod table;
 
 pub use histogram::{quantile, Histogram};
@@ -42,4 +45,5 @@ pub use online::Online;
 pub use regression::{
     best_growth, classify_growth, fit_line, fit_power_law, GrowthFit, GrowthModel, LineFit,
 };
+pub use summary::{json_f64, Summary};
 pub use table::{fmt_num, Align, Table};
