@@ -244,6 +244,16 @@ pub fn registry() -> Vec<Experiment> {
             about: "necessity of the known-ring-size assumption",
             run: experiments::e13_known_n::run,
         },
+        Experiment {
+            id: "e14",
+            about: "election success rate under crash-recover churn",
+            run: experiments::e14_crash_churn::run,
+        },
+        Experiment {
+            id: "e15",
+            about: "synchroniser pulse skew under partitions and delay storms",
+            run: experiments::e15_partitions::run,
+        },
     ]
 }
 
@@ -256,10 +266,10 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
         let mut sorted = ids.clone();
         sorted.dedup();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 15);
         assert_eq!(ids.len(), sorted.len());
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids[12], "e13");
+        assert_eq!(ids[14], "e15");
     }
 
     #[test]

@@ -451,6 +451,21 @@ impl CellMetrics {
             .counter("queue_live", report.queue_stats.live())
     }
 
+    /// Records the fault-injection telemetry of a [`NetworkReport`]
+    /// (crash/recovery events, per-cause message losses, storm-stretched
+    /// deliveries). Kept separate from [`with_report`](Self::with_report)
+    /// so fault-free experiments emit byte-identical JSON to builds that
+    /// predate the fault layer.
+    pub fn with_faults(self, report: &NetworkReport) -> Self {
+        let f = &report.faults;
+        self.counter("fault_crashes", f.crashes)
+            .counter("fault_recoveries", f.recoveries)
+            .counter("fault_dropped_crash", f.dropped_crash)
+            .counter("fault_dropped_partition", f.dropped_partition)
+            .counter("fault_dropped_random", f.dropped_random)
+            .counter("fault_storm_deliveries", f.storm_deliveries)
+    }
+
     /// Records the standard metrics of one election run (messages, virtual
     /// time, ticks, leader count) plus the report telemetry.
     ///

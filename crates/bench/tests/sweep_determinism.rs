@@ -217,3 +217,79 @@ fn cell_seeds_are_reproducible_across_processes() {
     uniq.dedup();
     assert_eq!(uniq.len(), seeds.len());
 }
+
+mod fault_regression {
+    //! Fault-layer determinism regressions: an **empty** `FaultPlan` must
+    //! not perturb a single byte of sweep output, and the new fault
+    //! experiments must stay bit-identical across worker counts.
+
+    use super::*;
+    use abe_bench::experiments::{e14_crash_churn, e15_partitions};
+    use abe_bench::sweep::CellMetrics;
+    use abe_core::fault::FaultPlan;
+    use abe_election::{run_abe_calibrated, RingConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn e1_smoke_json_is_unchanged_by_an_explicit_empty_fault_plan() {
+        // Baseline: e1 as shipped (its runner never touches the fault API).
+        let baseline = abe_bench::experiments::e1_messages::run(&RunCtx::new(Scale::Smoke, 1));
+        // The same grid, but every run built with an explicitly-empty
+        // FaultPlan. The metric block must be byte-identical: installing
+        // the fault layer without faults is invisible to the JSON.
+        let spec = SweepSpec::new().axis_u32("n", &[8, 16, 64]).seeds(10);
+        let replayed = run_sweep(&spec, 1, |cell| {
+            let cfg = RingConfig::new(cell.u32("n"))
+                .delay(Arc::new(
+                    abe_core::delay::Exponential::from_mean(
+                        abe_bench::experiments::e1_messages::DELTA,
+                    )
+                    .unwrap(),
+                ))
+                .seed(cell.seed())
+                .fault(FaultPlan::new());
+            let o = run_abe_calibrated(&cfg, abe_bench::experiments::e1_messages::A);
+            CellMetrics::new()
+                .metric("knockouts", o.report.counter("knockouts") as f64)
+                .with_election(&o)
+        })
+        .unwrap();
+        assert_eq!(baseline.sweep.metrics_json(), replayed.metrics_json());
+    }
+
+    #[test]
+    fn e14_smoke_is_byte_identical_across_thread_counts() {
+        let single = e14_crash_churn::run(&RunCtx::new(Scale::Smoke, 1));
+        let parallel = e14_crash_churn::run(&RunCtx::new(Scale::Smoke, 8));
+        assert_eq!(single.sweep.metrics_json(), parallel.sweep.metrics_json());
+        assert_eq!(single.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(single.findings, parallel.findings);
+    }
+
+    #[test]
+    fn e15_smoke_is_byte_identical_across_thread_counts() {
+        let single = e15_partitions::run(&RunCtx::new(Scale::Smoke, 1));
+        let parallel = e15_partitions::run(&RunCtx::new(Scale::Smoke, 8));
+        assert_eq!(single.sweep.metrics_json(), parallel.sweep.metrics_json());
+        assert_eq!(single.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(single.findings, parallel.findings);
+    }
+
+    #[test]
+    fn fault_experiment_documents_are_valid_json_with_fault_counters() {
+        for (report, id) in [
+            (e14_crash_churn::run(&RunCtx::new(Scale::Smoke, 2)), "e14"),
+            (e15_partitions::run(&RunCtx::new(Scale::Smoke, 2)), "e15"),
+        ] {
+            let doc = abe_bench::sweep::json::document(&report, "smoke");
+            assert_valid_json(&doc);
+            assert!(doc.contains(&format!("\"experiment\":\"{id}\"")));
+            assert!(
+                doc.contains("\"fault_crashes\""),
+                "{id} lacks fault telemetry"
+            );
+            assert!(doc.contains("\"fault_dropped_partition\""));
+            assert!(!report.sweep.cells.is_empty());
+        }
+    }
+}

@@ -16,6 +16,7 @@ use crate::class::NetworkClass;
 use crate::clock::ClockSpec;
 use crate::delay::{DelayModel, Deterministic, Exponential, SharedDelay};
 use crate::error::BuildError;
+use crate::fault::{FaultPlan, FaultRuntime};
 use crate::net::Network;
 use crate::protocol::Protocol;
 use crate::topology::Topology;
@@ -65,6 +66,7 @@ pub struct NetworkBuilder {
     tick_interval: f64,
     class: Option<NetworkClass>,
     trace_capacity: usize,
+    fault: FaultPlan,
 }
 
 impl NetworkBuilder {
@@ -83,6 +85,7 @@ impl NetworkBuilder {
             tick_interval: 1.0,
             class: None,
             trace_capacity: 0,
+            fault: FaultPlan::new(),
         }
     }
 
@@ -153,6 +156,16 @@ impl NetworkBuilder {
         self
     }
 
+    /// Installs a fault-injection plan (crashes, drops, partitions, delay
+    /// storms); validated against the topology at build time.
+    ///
+    /// The default (empty) plan injects nothing and leaves the simulation
+    /// bit-identical to one built without this call.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
     /// Enables execution tracing, retaining at most `capacity` event
     /// records (default 0 = disabled). Read back via
     /// [`Network::trace`](crate::Network::trace).
@@ -193,6 +206,8 @@ impl NetworkBuilder {
             }
         }
 
+        self.fault.validate(&self.topo)?;
+
         let n = self.topo.node_count() as usize;
         let seeds = SeedStream::new(self.seed);
         let mut protos = Vec::with_capacity(n);
@@ -208,6 +223,7 @@ impl NetworkBuilder {
             .map(|e| seeds.stream("channel", e as u64))
             .collect();
         let proc_rng = seeds.stream("processing", 0);
+        let faults = FaultRuntime::compile(&self.fault, &self.topo, seeds.stream("fault", 0));
 
         Ok(Network::assemble(
             self.topo,
@@ -221,6 +237,7 @@ impl NetworkBuilder {
             self.fifo,
             self.tick_interval,
             self.trace_capacity,
+            faults,
         ))
     }
 }
@@ -236,6 +253,7 @@ impl fmt::Debug for NetworkBuilder {
             .field("seed", &self.seed)
             .field("tick_interval", &self.tick_interval)
             .field("class", &self.class)
+            .field("fault", &self.fault)
             .finish()
     }
 }

@@ -163,6 +163,9 @@ pub enum BuildError {
         /// Number of edges in the topology.
         edges: usize,
     },
+    /// The fault plan referenced nodes/edges the topology does not have
+    /// or used values outside their domain.
+    Fault(crate::fault::FaultPlanError),
 }
 
 impl fmt::Display for BuildError {
@@ -175,6 +178,7 @@ impl fmt::Display for BuildError {
                 f,
                 "per-edge delay list has {supplied} entries but the topology has {edges} edges"
             ),
+            BuildError::Fault(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -186,6 +190,7 @@ impl Error for BuildError {
             BuildError::Topology(e) => Some(e),
             BuildError::Class(e) => Some(e),
             BuildError::EdgeDelayCount { .. } => None,
+            BuildError::Fault(e) => Some(e),
         }
     }
 }
@@ -205,6 +210,12 @@ impl From<TopologyError> for BuildError {
 impl From<ClassViolation> for BuildError {
     fn from(e: ClassViolation) -> Self {
         BuildError::Class(e)
+    }
+}
+
+impl From<crate::fault::FaultPlanError> for BuildError {
+    fn from(e: crate::fault::FaultPlanError) -> Self {
+        BuildError::Fault(e)
     }
 }
 

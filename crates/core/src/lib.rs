@@ -21,6 +21,9 @@
 //! * [`AbeParams`] / [`NetworkClass`] — machine-checked network-class
 //!   contracts (asynchronous / ABD / ABE, with `ABD ⊂ ABE`);
 //! * [`Protocol`] / [`Ctx`] — the anonymous, port-based algorithm API;
+//! * [`fault`] — deterministic fault injection (crash-stop / crash-recover
+//!   schedules, random drops, partition windows, delay storms), composed
+//!   via [`NetworkBuilder::fault`];
 //! * [`NetworkBuilder`] / [`Network`] — assembly and execution, producing a
 //!   [`NetworkReport`] with message counts and experiment counters.
 //!
@@ -74,6 +77,7 @@ mod class;
 pub mod clock;
 pub mod delay;
 mod error;
+pub mod fault;
 mod net;
 mod protocol;
 pub mod topology;
@@ -81,6 +85,7 @@ pub mod topology;
 pub use builder::NetworkBuilder;
 pub use class::{AbeParams, NetworkClass};
 pub use error::{BuildError, ClassViolation, InvalidParamError, TopologyError};
+pub use fault::{FaultPlan, FaultStats, OutcomeClass};
 pub use net::{NetEvent, Network, NetworkReport};
 pub use protocol::{geometric_trials, Ctx, CtxEffects, InPort, OutPort, Protocol};
 pub use topology::Topology;

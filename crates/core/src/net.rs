@@ -22,6 +22,7 @@ use abe_sim::{
 
 use crate::clock::LocalClock;
 use crate::delay::SharedDelay;
+use crate::fault::{FaultRuntime, FaultStats, SendFate};
 use crate::protocol::{Ctx, InPort, Protocol};
 use crate::topology::{EdgeId, NodeId, Topology};
 
@@ -39,6 +40,10 @@ pub enum NetEvent<M> {
         /// The payload.
         msg: M,
     },
+    /// A scheduled node crash (from the fault plan).
+    Crash(u32),
+    /// A scheduled node recovery (from the fault plan).
+    Recover(u32),
 }
 
 pub(crate) struct NodeSlot<P> {
@@ -77,6 +82,9 @@ pub struct NetworkReport {
     /// Kernel event-queue telemetry (scheduled/cancelled/popped) for the
     /// whole run, so harness output can report raw engine activity.
     pub queue_stats: QueueStats,
+    /// Fault-injection telemetry (crashes, drops, storm deliveries); all
+    /// zero when no fault plan was installed.
+    pub faults: FaultStats,
     /// Experiment counters accumulated via [`Ctx::count`].
     pub counters: BTreeMap<&'static str, u64>,
 }
@@ -107,6 +115,7 @@ pub struct Network<P: Protocol> {
     messages_delivered: u64,
     ticks: u64,
     trace: Option<TraceBuffer<String>>,
+    faults: FaultRuntime,
 }
 
 enum Dispatch<M> {
@@ -129,6 +138,7 @@ impl<P: Protocol> Network<P> {
         fifo: bool,
         tick_interval: f64,
         trace_capacity: usize,
+        faults: FaultRuntime,
     ) -> Self {
         debug_assert_eq!(protos.len(), topo.node_count() as usize);
         debug_assert_eq!(edge_delays.len(), topo.edge_count());
@@ -177,6 +187,7 @@ impl<P: Protocol> Network<P> {
             messages_delivered: 0,
             ticks: 0,
             trace: (trace_capacity > 0).then(|| TraceBuffer::new(trace_capacity)),
+            faults,
         }
     }
 
@@ -228,6 +239,16 @@ impl<P: Protocol> Network<P> {
         for i in 0..n {
             sim.prime(SimTime::ZERO, NetEvent::Start(i));
         }
+        // Prime the fault schedule after the start events, so a crash at
+        // t = 0 still lets `on_start` run first. With an empty plan this
+        // primes nothing and the event sequence is untouched.
+        let windows: Vec<_> = sim.world().faults.crash_windows().to_vec();
+        for w in windows {
+            sim.prime(SimTime::from_secs(w.at), NetEvent::Crash(w.node));
+            if let Some(recover_at) = w.recover_at {
+                sim.prime(SimTime::from_secs(recover_at), NetEvent::Recover(w.node));
+            }
+        }
         let kernel_report = sim.run(limits);
         let end_time = sim.now();
         let events_processed = sim.events_processed();
@@ -238,9 +259,10 @@ impl<P: Protocol> Network<P> {
             events_processed,
             messages_sent: net.messages_sent,
             messages_delivered: net.messages_delivered,
-            in_flight: net.messages_sent - net.messages_delivered,
+            in_flight: net.messages_sent - net.messages_delivered - net.faults.stats.dropped(),
             ticks: net.ticks,
             queue_stats: kernel_report.queue_stats,
+            faults: net.faults.stats,
             counters: net.counters.clone(),
         };
         (report, net)
@@ -299,10 +321,28 @@ impl<P: Protocol> Network<P> {
         msg: P::Message,
     ) {
         let edge = self.topo.out_edges(src)[port];
+        let dst = self.topo.edge(edge).dst;
         let channel = &mut self.channels[edge.index()];
+        // Delay and processing draws happen before the fault verdict, so
+        // the channel/processing RNG streams advance identically whether a
+        // message is dropped or not.
         let channel_delay = channel.delay.sample(&mut channel.rng);
         let proc_delay = self.processing.sample(&mut self.proc_rng);
-        let mut arrival = step.now() + channel_delay + proc_delay;
+        let fate =
+            self.faults
+                .on_send(edge.index(), src.index(), dst.index(), step.now().as_secs());
+        let stretch = match fate {
+            SendFate::Deliver { stretch } => stretch,
+            SendFate::DropPartition | SendFate::DropRandom => {
+                // Sent but lost in transit: the send is accounted, the
+                // delivery never scheduled; FaultStats carries the loss.
+                channel.sent += 1;
+                self.messages_sent += 1;
+                self.nodes[src.index()].messages_sent += 1;
+                return;
+            }
+        };
+        let mut arrival = step.now() + channel_delay * stretch + proc_delay;
         if self.fifo && arrival < channel.last_arrival {
             arrival = channel.last_arrival;
         }
@@ -361,23 +401,56 @@ impl<P: Protocol> World for Network<P> {
                     let e = self.topo.edge(eid);
                     format!("deliver {} -> {}: {msg:?}", e.src, e.dst)
                 }
+                NetEvent::Crash(i) => format!("crash n{i}"),
+                NetEvent::Recover(i) => format!("recover n{i}"),
             };
             trace.push(step.now(), line);
         }
         match event {
-            NetEvent::Start(i) => self.dispatch(step, i, Dispatch::Start),
+            NetEvent::Start(i) => {
+                if self.faults.is_down(i as usize) {
+                    return;
+                }
+                self.dispatch(step, i, Dispatch::Start);
+            }
             NetEvent::Tick(i) => {
                 self.nodes[i as usize].tick_token = None;
+                // Defensive: crashes cancel the pending tick, so a tick
+                // firing on a down node should be impossible.
+                if self.faults.is_down(i as usize) {
+                    return;
+                }
                 self.ticks += 1;
                 self.dispatch(step, i, Dispatch::Tick);
             }
             NetEvent::Deliver { edge, msg } => {
                 let eid = EdgeId_from(edge);
                 let dst = self.topo.edge(eid).dst;
+                if self.faults.is_down(dst.index()) {
+                    // The destination is crashed: the message is lost, not
+                    // delivered — counted so telemetry still balances.
+                    self.faults.note_dropped_crash();
+                    return;
+                }
                 let port = InPort(self.topo.in_port(eid));
                 self.messages_delivered += 1;
                 self.nodes[dst.index()].messages_received += 1;
                 self.dispatch(step, dst.index() as u32, Dispatch::Message(port, msg));
+            }
+            NetEvent::Crash(i) => {
+                // Freeze the node: cancel its pending tick (visible in the
+                // queue's cancelled counter) and mark it down.
+                if let Some(token) = self.nodes[i as usize].tick_token.take() {
+                    step.cancel(token);
+                }
+                self.faults.on_crash(i as usize);
+            }
+            NetEvent::Recover(i) => {
+                self.faults.on_recover(i as usize);
+                if !self.faults.is_down(i as usize) {
+                    // Resume ticking if the (frozen) protocol wants it.
+                    self.sync_tick(step, i);
+                }
             }
         }
     }
@@ -622,5 +695,197 @@ mod tick_tests {
             .unwrap();
         let (_, net) = net.run(RunLimits::unbounded());
         assert_eq!(net.node(1).seen, vec![0.0, 1.25]);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::delay::Deterministic;
+    use crate::fault::{EdgeSelector, FaultPlan};
+    use crate::protocol::{Ctx, OutPort};
+    use crate::Topology;
+    use abe_sim::RunLimits;
+
+    /// Sends one ping per tick forever; receivers record arrival times.
+    #[derive(Debug)]
+    struct Ticker {
+        source: bool,
+        budget: u32,
+        seen: Vec<f64>,
+    }
+
+    impl Protocol for Ticker {
+        type Message = ();
+        fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.budget -= 1;
+            ctx.send(OutPort(0), ());
+        }
+        fn on_message(&mut self, _from: InPort, _msg: (), ctx: &mut Ctx<'_, ()>) {
+            self.seen.push(ctx.local_time());
+        }
+        fn wants_tick(&self) -> bool {
+            self.source && self.budget > 0
+        }
+    }
+
+    fn ticker_net(plan: FaultPlan, budget: u32) -> Network<Ticker> {
+        NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .delay(Deterministic::new(0.25).unwrap())
+            .fault(plan)
+            .build(|i| Ticker {
+                source: i == 0,
+                budget,
+                seen: Vec::new(),
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let without = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .delay(Deterministic::new(0.25).unwrap())
+            .seed(9)
+            .build(|i| Ticker {
+                source: i == 0,
+                budget: 5,
+                seen: Vec::new(),
+            })
+            .unwrap();
+        let with = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .delay(Deterministic::new(0.25).unwrap())
+            .seed(9)
+            .fault(FaultPlan::new())
+            .build(|i| Ticker {
+                source: i == 0,
+                budget: 5,
+                seen: Vec::new(),
+            })
+            .unwrap();
+        let (a, na) = without.run(RunLimits::unbounded());
+        let (b, nb) = with.run(RunLimits::unbounded());
+        assert_eq!(a, b);
+        assert_eq!(na.node(1).seen, nb.node(1).seen);
+        assert_eq!(a.faults, crate::fault::FaultStats::default());
+    }
+
+    #[test]
+    fn crashed_destination_loses_messages_and_accounting_balances() {
+        // Node 1 is down for t in [1, 2): pings arriving in that window
+        // (sent at 0.75..1.75, arriving 0.25 later) are lost.
+        let plan = FaultPlan::new().crash_recover(1, 1.0, 2.0);
+        let (report, net) = ticker_net(plan, 8).run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        assert_eq!(report.faults.crashes, 1);
+        assert_eq!(report.faults.recoveries, 1);
+        assert!(report.faults.dropped_crash > 0);
+        assert_eq!(report.messages_sent, 8);
+        assert_eq!(report.messages_delivered, 8 - report.faults.dropped_crash);
+        assert_eq!(report.in_flight, 0);
+        // No arrival timestamp falls inside the down window.
+        assert!(net.node(1).seen.iter().all(|&t| !(1.0..2.0).contains(&t)));
+    }
+
+    #[test]
+    fn crash_stop_cancels_ticks_and_quiesces() {
+        // The ticking source crash-stops at t = 2.5; its pending tick is
+        // cancelled and the network quiesces early.
+        let plan = FaultPlan::new().crash_stop(0, 2.5);
+        let (report, _) = ticker_net(plan, 100).run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        assert_eq!(report.faults.crashes, 1);
+        assert_eq!(report.faults.recoveries, 0);
+        // Ticks at t = 1 and t = 2 fired before the crash.
+        assert_eq!(report.messages_sent, 2);
+        assert!(
+            report.queue_stats.cancelled >= 1,
+            "{:?}",
+            report.queue_stats
+        );
+    }
+
+    #[test]
+    fn crash_recover_resumes_ticking() {
+        // Source down for [1.5, 4.5): ticks pause, then resume.
+        let plan = FaultPlan::new().crash_recover(0, 1.5, 4.5);
+        let (report, net) = ticker_net(plan, 4).run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        // Tick at t=1 fires; ticks at 2, 3, 4 are suppressed; ticking
+        // resumes after 4.5, so all 4 budgeted pings go out eventually.
+        assert_eq!(report.messages_sent, 4);
+        assert_eq!(net.node(1).seen.len(), 4);
+        assert!(net.node(1).seen.iter().any(|&t| t > 4.5));
+    }
+
+    #[test]
+    fn partition_window_drops_cut_crossing_sends() {
+        // Cut node 1 off for [0.5, 2.5): pings sent (at integer times)
+        // inside the window are dropped at send time.
+        let plan = FaultPlan::new().partition(vec![1], 0.5, 2.5);
+        let (report, net) = ticker_net(plan, 5).run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        assert_eq!(report.faults.dropped_partition, 2); // sends at t=1, 2
+        assert_eq!(report.messages_sent, 5);
+        assert_eq!(report.messages_delivered, 3);
+        assert_eq!(report.in_flight, 0);
+        assert_eq!(net.node(1).seen, vec![3.25, 4.25, 5.25]);
+    }
+
+    #[test]
+    fn random_drop_probability_one_loses_everything() {
+        let plan = FaultPlan::new().drop(EdgeSelector::All, 1.0);
+        let (report, net) = ticker_net(plan, 6).run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        assert_eq!(report.messages_sent, 6);
+        assert_eq!(report.messages_delivered, 0);
+        assert_eq!(report.faults.dropped_random, 6);
+        assert_eq!(report.in_flight, 0);
+        assert!(net.node(1).seen.is_empty());
+    }
+
+    #[test]
+    fn delay_storm_stretches_latency_in_window() {
+        // Storm multiplies the 0.25 delay by 8 for sends in [1.5, 2.5):
+        // the ping sent at t=2 arrives at 4.0 instead of 2.25.
+        let plan = FaultPlan::new().delay_storm(EdgeSelector::All, 1.5, 2.5, 8.0);
+        let (report, net) = ticker_net(plan, 3).run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        assert_eq!(report.faults.storm_deliveries, 1);
+        // Deliveries arrive in time order: the stormed ping overtakes none
+        // here but lands last (sent t=2, arrives 4.0).
+        assert_eq!(net.node(1).seen, vec![1.25, 3.25, 4.0]);
+    }
+
+    #[test]
+    fn fault_events_appear_in_trace() {
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .delay(Deterministic::new(0.25).unwrap())
+            .trace_capacity(64)
+            .fault(FaultPlan::new().crash_recover(1, 0.5, 1.5))
+            .build(|i| Ticker {
+                source: i == 0,
+                budget: 2,
+                seen: Vec::new(),
+            })
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        let lines: Vec<&str> = net.trace().map(|r| r.data.as_str()).collect();
+        assert!(lines.contains(&"crash n1"), "{lines:?}");
+        assert!(lines.contains(&"recover n1"), "{lines:?}");
+    }
+
+    #[test]
+    fn invalid_plan_fails_build() {
+        let err = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+            .fault(FaultPlan::new().crash_stop(7, 1.0))
+            .build(|i| Ticker {
+                source: i == 0,
+                budget: 1,
+                seen: Vec::new(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, crate::BuildError::Fault(_)), "{err}");
+        assert!(err.to_string().contains("fault plan"));
     }
 }

@@ -57,7 +57,7 @@ pub use itai_rodeh::{IrToken, ItaiRodeh};
 pub use peterson::{Peterson, PetersonMsg};
 pub use runner::{
     random_permutation, run_abe, run_abe_calibrated, run_chang_roberts, run_fixed, run_itai_rodeh,
-    run_peterson, ElectionOutcome, RingConfig,
+    run_peterson, ElectionOutcome, RingConfig, RingKind,
 };
 pub use state::ElectionState;
 

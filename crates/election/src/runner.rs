@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use abe_core::clock::ClockSpec;
 use abe_core::delay::{Exponential, SharedDelay};
+use abe_core::fault::{FaultPlan, OutcomeClass};
 use abe_core::{NetworkBuilder, NetworkReport, Topology};
 use abe_sim::{RunLimits, SeedStream};
 use rand::RngExt;
@@ -19,6 +20,20 @@ use crate::fixed::FixedActivation;
 use crate::itai_rodeh::ItaiRodeh;
 use crate::peterson::Peterson;
 use crate::state::ElectionState;
+
+/// Ring orientation for an election run.
+///
+/// The election algorithms circulate tokens on out-port 0, which is the
+/// successor edge in both orientations; a bidirectional ring adds the
+/// reverse edges (doubling the channel population and changing how fault
+/// partitions cut the graph) without changing the election's logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingKind {
+    /// The paper's topology: `0 → 1 → … → n−1 → 0`.
+    Unidirectional,
+    /// Both orientations of every ring edge.
+    Bidirectional,
+}
 
 /// Configuration of one ring-election run.
 #[derive(Debug, Clone)]
@@ -35,6 +50,10 @@ pub struct RingConfig {
     pub fifo: bool,
     /// Event budget; runs exceeding it report `terminated = false`.
     pub max_events: u64,
+    /// Ring orientation (defaults to the paper's unidirectional ring).
+    pub kind: RingKind,
+    /// Fault-injection plan (defaults to empty: no faults).
+    pub fault: FaultPlan,
 }
 
 impl RingConfig {
@@ -53,6 +72,8 @@ impl RingConfig {
             seed: 0,
             fifo: false,
             max_events: 5_000_000,
+            kind: RingKind::Unidirectional,
+            fault: FaultPlan::new(),
         }
     }
 
@@ -80,12 +101,39 @@ impl RingConfig {
         self
     }
 
+    /// Sets the ring orientation.
+    pub fn kind(mut self, kind: RingKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Installs a fault-injection plan for the run.
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Replaces the event budget. Fault experiments lower it: a run that
+    /// loses a token can livelock (an Active node with no token in flight
+    /// purges every later token forever), so stalls are detected by
+    /// exhausting the budget rather than by quiescence.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
     fn builder(&self) -> NetworkBuilder {
-        NetworkBuilder::new(Topology::unidirectional_ring(self.n).expect("n >= 1 was validated"))
+        let topo = match self.kind {
+            RingKind::Unidirectional => Topology::unidirectional_ring(self.n),
+            RingKind::Bidirectional => Topology::bidirectional_ring(self.n),
+        }
+        .expect("n >= 1 was validated");
+        NetworkBuilder::new(topo)
             .delay_shared(Arc::clone(&self.delay))
             .clocks(self.clocks)
             .fifo(self.fifo)
             .seed(self.seed)
+            .fault(self.fault.clone())
     }
 
     fn limits(&self) -> RunLimits {
@@ -111,6 +159,21 @@ pub struct ElectionOutcome {
 }
 
 impl ElectionOutcome {
+    /// Classifies the run for fault experiments:
+    ///
+    /// * exactly one leader → [`OutcomeClass::Completed`];
+    /// * no leader → [`OutcomeClass::Stalled`] (the run quiesced or hit
+    ///   its budget with every surviving token consumed);
+    /// * more than one leader → [`OutcomeClass::WrongLeader`] (a safety
+    ///   violation — only reachable under faults).
+    pub fn class(&self) -> OutcomeClass {
+        match self.leaders {
+            1 => OutcomeClass::Completed,
+            0 => OutcomeClass::Stalled,
+            _ => OutcomeClass::WrongLeader,
+        }
+    }
+
     fn from_report(report: NetworkReport, leaders: usize) -> Self {
         Self {
             terminated: report.outcome.is_stopped(),
@@ -296,5 +359,65 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_ring_panics() {
         let _ = RingConfig::new(0);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_runs_bit_identical() {
+        let plain = RingConfig::new(16).seed(21);
+        let faulted = RingConfig::new(16).seed(21).fault(FaultPlan::new());
+        let a = run_abe_calibrated(&plain, 1.0);
+        let b = run_abe_calibrated(&faulted, 1.0);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.leaders, b.leaders);
+    }
+
+    #[test]
+    fn bidirectional_ring_still_elects() {
+        let cfg = RingConfig::new(8).seed(5).kind(RingKind::Bidirectional);
+        let o = run_abe_calibrated(&cfg, 1.0);
+        assert_eq!(o.class(), OutcomeClass::Completed);
+        assert_eq!(o.leaders, 1);
+    }
+
+    #[test]
+    fn outcome_class_tracks_leader_count() {
+        let cfg = RingConfig::new(8).seed(5);
+        let mut o = run_abe(&cfg, 0.3);
+        assert_eq!(o.class(), OutcomeClass::Completed);
+        o.leaders = 0;
+        assert_eq!(o.class(), OutcomeClass::Stalled);
+        o.leaders = 2;
+        assert_eq!(o.class(), OutcomeClass::WrongLeader);
+    }
+
+    #[test]
+    fn crash_stop_on_a_ring_stalls_the_election() {
+        // A permanently dead node breaks the unidirectional ring: every
+        // token eventually dies at it, no leader can complete a lap.
+        let cfg = RingConfig::new(8)
+            .seed(3)
+            .fault(FaultPlan::new().crash_stop(4, 0.0))
+            .max_events(50_000);
+        let o = run_abe_calibrated(&cfg, 1.0);
+        assert_eq!(o.class(), OutcomeClass::Stalled);
+        assert!(!o.terminated);
+        assert!(o.report.faults.crashes >= 1);
+    }
+
+    #[test]
+    fn elections_often_survive_crash_recover_churn() {
+        // Lost tokens are regenerated by idle nodes waking up, so short
+        // outages usually delay — not kill — the election.
+        let completed = (0..20)
+            .filter(|&seed| {
+                let plan = FaultPlan::churn(16, 2, 32.0, 4.0, seed);
+                let cfg = RingConfig::new(16)
+                    .seed(seed)
+                    .fault(plan)
+                    .max_events(50_000);
+                run_abe_calibrated(&cfg, 1.0).class() == OutcomeClass::Completed
+            })
+            .count();
+        assert!(completed >= 10, "only {completed}/20 runs completed");
     }
 }

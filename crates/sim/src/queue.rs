@@ -6,9 +6,13 @@
 //! seeded RNG streams — makes entire simulations bit-reproducible.
 //!
 //! Cancellation is *lazy*: [`EventQueue::cancel`] removes the token from the
-//! live set and the heap entry is discarded when it surfaces, keeping both
-//! operations cheap (`O(log n)` amortised for heap operations, `O(1)` for
-//! the set).
+//! live set and stale heap entries are discarded when they reach the top,
+//! keeping both operations cheap (`O(log n)` amortised for heap operations,
+//! `O(1)` for the set). Both [`cancel`](EventQueue::cancel) and
+//! [`pop`](EventQueue::pop) skim stale entries off the top before
+//! returning, maintaining the invariant that the heap's top entry is
+//! always live — which is what lets [`peek_time`](EventQueue::peek_time)
+//! take `&self`.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -149,6 +153,9 @@ impl<E> EventQueue<E> {
     pub fn cancel(&mut self, token: EventToken) -> bool {
         if self.pending.remove(&token.0) {
             self.stats.cancelled += 1;
+            // Re-establish the top-is-live invariant immediately, so
+            // `peek_time` never observes a stale top entry.
+            self.skim_stale();
             true
         } else {
             false
@@ -162,16 +169,22 @@ impl<E> EventQueue<E> {
         while let Some(entry) = self.heap.pop() {
             if self.pending.remove(&entry.seq) {
                 self.stats.popped += 1;
+                // Popping may expose a stale entry that was buried below
+                // the (live) top; skim so the invariant holds for peeks.
+                self.skim_stale();
                 return Some((entry.time, entry.event));
             }
-            // Stale (cancelled) entry: drop and continue.
+            // Stale (cancelled) entry: drop and continue (only reachable
+            // if the top-is-live invariant was externally violated).
         }
         None
     }
 
     /// Time of the earliest live event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skim_stale();
+    ///
+    /// Takes `&self`: `cancel` and `pop` eagerly skim cancelled entries
+    /// off the top of the heap, so the top entry is always live.
+    pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
     }
 

@@ -273,6 +273,35 @@ mod tests {
     }
 
     #[test]
+    fn partition_stalls_rounds_with_skew() {
+        // Cut node 0 off for [1, 4): the first envelope lost on the cut
+        // permanently blocks its destination (no retransmission), so the
+        // run quiesces with nodes at different round counts — nonzero
+        // pulse skew — and classifies as stalled.
+        use crate::classify_rounds;
+        use abe_core::fault::FaultPlan;
+        use abe_core::OutcomeClass;
+
+        let rounds = 12u64;
+        let net = NetworkBuilder::new(Topology::unidirectional_ring(6).unwrap())
+            .delay(Exponential::from_mean(1.0).unwrap())
+            .seed(11)
+            .fault(FaultPlan::new().partition(vec![0], 1.0, 4.0))
+            .build(|_| GraphSynchronizer::new(Heartbeat::default(), rounds))
+            .unwrap();
+        let (report, net) = net.run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        assert!(report.faults.dropped_partition >= 1);
+        let fired: Vec<u64> = net.protocols().map(|p| p.rounds_fired()).collect();
+        assert_eq!(
+            classify_rounds(fired.iter().copied(), rounds),
+            OutcomeClass::Stalled
+        );
+        let skew = fired.iter().max().unwrap() - fired.iter().min().unwrap();
+        assert!(skew > 0, "expected pulse skew, got {fired:?}");
+    }
+
+    #[test]
     fn app_stop_terminates_network() {
         #[derive(Debug)]
         struct Stopper;

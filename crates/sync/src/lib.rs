@@ -59,7 +59,7 @@ pub use abd_sync::{counters as abd_counters, AbdEnvelope, AbdSynchronizer, Chatt
 pub use apps::{Flood, Heartbeat};
 pub use graph_sync::{counters as sync_counters, GraphSynchronizer, SyncEnvelope};
 pub use ir_sync::{IrSync, IrSyncToken};
-pub use pulse::{PulseCtx, PulseProtocol, SyncReport, SyncRunner};
+pub use pulse::{classify_rounds, PulseCtx, PulseProtocol, SyncReport, SyncRunner};
 
 /// Error returned when a synchroniser parameter is outside its domain.
 #[derive(Debug, Clone, PartialEq, Eq)]

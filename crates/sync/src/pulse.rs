@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use abe_core::topology::Topology;
-use abe_core::{InPort, OutPort};
+use abe_core::{InPort, OutPort, OutcomeClass};
 use abe_sim::{SeedStream, Xoshiro256PlusPlus};
 
 /// Context handed to [`PulseProtocol::on_pulse`].
@@ -165,6 +165,32 @@ pub trait PulseProtocol {
     /// when all nodes are done and no messages are pending).
     fn is_done(&self) -> bool {
         false
+    }
+}
+
+/// Classifies a synchronised run for fault experiments: `Completed` when
+/// every node fired all `target` rounds, `Stalled` otherwise.
+///
+/// The graph synchroniser assumes reliable channels (every envelope is
+/// sent exactly once), so a single envelope lost to a crash or partition
+/// permanently blocks its destination — and, transitively, the whole
+/// network — from pulsing past that round. `Stalled` with a positive
+/// pulse skew is the signature of that failure mode.
+///
+/// # Examples
+///
+/// ```
+/// use abe_core::OutcomeClass;
+/// use abe_sync::classify_rounds;
+///
+/// assert_eq!(classify_rounds([10, 10, 10], 10), OutcomeClass::Completed);
+/// assert_eq!(classify_rounds([10, 4, 7], 10), OutcomeClass::Stalled);
+/// ```
+pub fn classify_rounds(rounds: impl IntoIterator<Item = u64>, target: u64) -> OutcomeClass {
+    if rounds.into_iter().all(|r| r >= target) {
+        OutcomeClass::Completed
+    } else {
+        OutcomeClass::Stalled
     }
 }
 

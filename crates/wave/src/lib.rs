@@ -47,3 +47,95 @@ mod flood;
 
 pub use echo::{Echo, EchoMsg};
 pub use flood::Flood;
+
+use abe_core::OutcomeClass;
+
+/// Classifies a finished flood run for fault experiments: `Completed`
+/// when every node learned the payload, `Stalled` otherwise (a crash or
+/// partition consumed a broadcast message no node will resend).
+///
+/// # Examples
+///
+/// ```
+/// use abe_core::delay::Deterministic;
+/// use abe_core::fault::FaultPlan;
+/// use abe_core::{NetworkBuilder, OutcomeClass, Topology};
+/// use abe_sim::RunLimits;
+/// use abe_wave::{classify_flood, Flood};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let build = |plan: FaultPlan| {
+///     NetworkBuilder::new(Topology::line(4)?)
+///         .delay(Deterministic::new(1.0)?)
+///         .fault(plan)
+///         .build(|i| Flood::new(i == 0, 7))
+/// };
+/// let (_, net) = build(FaultPlan::new())?.run(RunLimits::unbounded());
+/// assert_eq!(classify_flood(net.protocols()), OutcomeClass::Completed);
+///
+/// // Crash-stop the middle of the line: the far side is never informed.
+/// let (_, net) = build(FaultPlan::new().crash_stop(1, 0.5))?.run(RunLimits::unbounded());
+/// assert_eq!(classify_flood(net.protocols()), OutcomeClass::Stalled);
+/// # Ok(())
+/// # }
+/// ```
+pub fn classify_flood<'a>(nodes: impl IntoIterator<Item = &'a Flood>) -> OutcomeClass {
+    if nodes.into_iter().all(|n| n.payload().is_some()) {
+        OutcomeClass::Completed
+    } else {
+        OutcomeClass::Stalled
+    }
+}
+
+/// Classifies a finished echo run: `Completed` when the initiator decided
+/// (termination detected and the aggregate delivered), `Stalled` when a
+/// fault broke the spanning tree before the convergecast finished.
+pub fn classify_echo(initiator: &Echo) -> OutcomeClass {
+    if initiator.result().is_some() {
+        OutcomeClass::Completed
+    } else {
+        OutcomeClass::Stalled
+    }
+}
+
+#[cfg(test)]
+mod classify_tests {
+    use super::*;
+    use abe_core::delay::Deterministic;
+    use abe_core::fault::FaultPlan;
+    use abe_core::{NetworkBuilder, Topology};
+    use abe_sim::RunLimits;
+
+    #[test]
+    fn echo_classifies_completion_and_stall() {
+        let build = |plan: FaultPlan| {
+            NetworkBuilder::new(Topology::torus(3, 3).unwrap())
+                .delay(Deterministic::new(1.0).unwrap())
+                .fault(plan)
+                .build(|i| Echo::new(i == 0, i as u64))
+                .unwrap()
+        };
+        let (_, net) = build(FaultPlan::new()).run(RunLimits::unbounded());
+        assert_eq!(classify_echo(net.node(0)), OutcomeClass::Completed);
+
+        // A node that dies mid-wave never reports to its parent: the
+        // initiator waits forever (quiescent, undecided).
+        let (report, net) = build(FaultPlan::new().crash_stop(4, 1.5)).run(RunLimits::unbounded());
+        assert!(report.outcome.is_quiescent());
+        assert_eq!(classify_echo(net.node(0)), OutcomeClass::Stalled);
+        assert!(report.faults.crashes == 1);
+    }
+
+    #[test]
+    fn flood_survives_crash_recover_off_path() {
+        // Flooding a 4-line with node 1 down only during [10, 11): the
+        // wave passed long before, so coverage is unaffected.
+        let net = NetworkBuilder::new(Topology::line(4).unwrap())
+            .delay(Deterministic::new(1.0).unwrap())
+            .fault(FaultPlan::new().crash_recover(1, 10.0, 11.0))
+            .build(|i| Flood::new(i == 0, 7))
+            .unwrap();
+        let (_, net) = net.run(RunLimits::unbounded());
+        assert_eq!(classify_flood(net.protocols()), OutcomeClass::Completed);
+    }
+}
