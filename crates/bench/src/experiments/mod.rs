@@ -11,6 +11,7 @@ pub mod e12_vs_synchronous;
 pub mod e13_known_n;
 pub mod e14_crash_churn;
 pub mod e15_partitions;
+pub mod e16_scaling;
 pub mod e1_messages;
 pub mod e2_time;
 pub mod e3_activation;

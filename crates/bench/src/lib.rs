@@ -27,6 +27,7 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod sweep;
 
 use std::fmt;
@@ -254,6 +255,11 @@ pub fn registry() -> Vec<Experiment> {
             about: "synchroniser pulse skew under partitions and delay storms",
             run: experiments::e15_partitions::run,
         },
+        Experiment {
+            id: "e16",
+            about: "election scaling to 10^6 nodes (million-node kernel stress)",
+            run: experiments::e16_scaling::run,
+        },
     ]
 }
 
@@ -266,10 +272,10 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
         let mut sorted = ids.clone();
         sorted.dedup();
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
         assert_eq!(ids.len(), sorted.len());
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids[14], "e15");
+        assert_eq!(ids[15], "e16");
     }
 
     #[test]

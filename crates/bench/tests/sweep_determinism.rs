@@ -218,6 +218,67 @@ fn cell_seeds_are_reproducible_across_processes() {
     assert_eq!(uniq.len(), seeds.len());
 }
 
+mod scaling_regression {
+    //! E16 rides the kernel's indexed-queue hot path at the largest grid
+    //! sizes; its JSON must stay bit-identical across worker counts like
+    //! every other experiment.
+
+    use super::*;
+    use abe_bench::experiments::e16_scaling;
+
+    #[test]
+    fn e16_smoke_is_byte_identical_across_thread_counts() {
+        let single = e16_scaling::run(&RunCtx::new(Scale::Smoke, 1));
+        let parallel = e16_scaling::run(&RunCtx::new(Scale::Smoke, 8));
+        assert_eq!(single.sweep.metrics_json(), parallel.sweep.metrics_json());
+        assert_eq!(single.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(single.findings, parallel.findings);
+    }
+
+    #[test]
+    fn e16_smoke_document_is_valid_json() {
+        let report = e16_scaling::run(&RunCtx::new(Scale::Smoke, 2));
+        let doc = abe_bench::sweep::json::document(&report, "smoke");
+        assert_valid_json(&doc);
+        assert!(doc.contains("\"experiment\":\"e16\""));
+        assert!(!report.sweep.cells.is_empty());
+    }
+}
+
+mod perf_harness {
+    //! The `abe-perf` JSON document must parse and carry nonzero
+    //! throughput figures — the same contract the CI perf-bench job
+    //! asserts on the written `BENCH_kernel.json`.
+
+    use super::assert_valid_json;
+    use abe_bench::perf::{self, PerfMode};
+
+    #[test]
+    fn kernel_bench_smoke_document_is_valid_json_with_throughput() {
+        let bench = perf::run(PerfMode::Smoke);
+        assert_eq!(bench.suites.len(), 3);
+        let doc = bench.to_json();
+        assert_valid_json(&doc);
+        assert!(doc.starts_with("{\"schema\":\"abe-bench/kernel-v1\""));
+        for (suite, name) in
+            bench
+                .suites
+                .iter()
+                .zip(["queue_churn", "ring_election", "fault_storm"])
+        {
+            assert_eq!(suite.name, name);
+            assert!(!suite.cells.is_empty(), "{name} has no cells");
+            assert!(doc.contains(&format!("\"{name}\"")));
+            for cell in &suite.cells {
+                assert!(cell.events > 0, "{name}: zero events");
+                assert!(cell.events_per_sec() > 0.0, "{name}: zero throughput");
+            }
+        }
+        assert!(bench.churn.speedup() > 0.0);
+        assert!(doc.contains("\"speedup\":"));
+    }
+}
+
 mod fault_regression {
     //! Fault-layer determinism regressions: an **empty** `FaultPlan` must
     //! not perturb a single byte of sweep output, and the new fault

@@ -219,6 +219,14 @@ impl<P: Protocol> Network<P> {
         self.nodes.iter().map(|s| &s.proto)
     }
 
+    /// Consumes the network, returning the protocol states in node order.
+    ///
+    /// The allocation-free way to claim a protocol's final state after a
+    /// run (instead of cloning out of [`Network::node`]).
+    pub fn into_protocols(self) -> Vec<P> {
+        self.nodes.into_iter().map(|s| s.proto).collect()
+    }
+
     /// Messages sent by node `i` so far.
     pub fn node_messages_sent(&self, i: usize) -> u64 {
         self.nodes[i].messages_sent
@@ -252,7 +260,7 @@ impl<P: Protocol> Network<P> {
         let kernel_report = sim.run(limits);
         let end_time = sim.now();
         let events_processed = sim.events_processed();
-        let net = sim.into_world();
+        let mut net = sim.into_world();
         let report = NetworkReport {
             outcome: kernel_report.outcome,
             end_time,
@@ -263,7 +271,10 @@ impl<P: Protocol> Network<P> {
             ticks: net.ticks,
             queue_stats: kernel_report.queue_stats,
             faults: net.faults.stats,
-            counters: net.counters.clone(),
+            // The report takes ownership of the accumulated counters; the
+            // returned network keeps the protocol states but no longer
+            // carries them (they have no accessor on `Network` anyway).
+            counters: std::mem::take(&mut net.counters),
         };
         (report, net)
     }
@@ -521,7 +532,9 @@ mod tick_tests {
             .unwrap();
         let (report, net) = net.run(RunLimits::unbounded());
         assert!(report.outcome.is_quiescent());
-        net.node(0).tick_times.clone()
+        // Take ownership of the final state instead of cloning mid-run
+        // telemetry out of a borrowed node.
+        net.into_protocols().swap_remove(0).tick_times
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::fmt;
 
 use abe_sim::Xoshiro256PlusPlus;
+use smallvec::SmallVec;
 
 /// Position of an incoming edge in a node's in-edge list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -137,8 +138,19 @@ pub fn geometric_trials(rng: &mut Xoshiro256PlusPlus, p: f64) -> u64 {
     }
 }
 
+/// Inline capacity of the per-dispatch effect buffers. Handlers that send
+/// (or count) at most this many times per event — all the algorithms in
+/// this workspace — never touch the allocator on the dispatch hot path.
+pub(crate) const INLINE_EFFECTS: usize = 4;
+
+/// Inline send buffer: `(port, message)` pairs in send order.
+pub(crate) type Outbox<M> = SmallVec<[(OutPort, M); INLINE_EFFECTS]>;
+
+/// Inline counter buffer: `(name, amount)` increments in call order.
+pub(crate) type CounterBumps = SmallVec<[(&'static str, u64); INLINE_EFFECTS]>;
+
 /// Internal tuple form of the collected effects.
-pub(crate) type RawEffects<M> = (Vec<(OutPort, M)>, Vec<(&'static str, u64)>, bool);
+pub(crate) type RawEffects<M> = (Outbox<M>, CounterBumps, bool);
 
 /// Effects collected by a [`Ctx`] during one handler dispatch.
 ///
@@ -166,8 +178,8 @@ pub struct Ctx<'a, M> {
     /// Per-in-port reverse out-port, if the reverse edge exists.
     reply_ports: &'a [Option<usize>],
     rng: &'a mut Xoshiro256PlusPlus,
-    outbox: Vec<(OutPort, M)>,
-    counters: Vec<(&'static str, u64)>,
+    outbox: Outbox<M>,
+    counters: CounterBumps,
     stop: bool,
 }
 
@@ -188,8 +200,8 @@ impl<'a, M> Ctx<'a, M> {
             in_degree,
             reply_ports,
             rng,
-            outbox: Vec::new(),
-            counters: Vec::new(),
+            outbox: SmallVec::new(),
+            counters: SmallVec::new(),
             stop: false,
         }
     }
@@ -304,11 +316,13 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Consumes the context, returning the collected [`CtxEffects`].
     ///
-    /// The counterpart of [`Ctx::external`] for external runtimes.
+    /// The counterpart of [`Ctx::external`] for external runtimes. Unlike
+    /// the internal simulator path (which drains the inline buffers
+    /// directly), this converts to plain `Vec`s for API stability.
     pub fn finish(self) -> CtxEffects<M> {
         CtxEffects {
-            sends: self.outbox,
-            counters: self.counters,
+            sends: self.outbox.into_vec(),
+            counters: self.counters.into_vec(),
             stop: self.stop,
         }
     }
@@ -343,7 +357,8 @@ mod tests {
         ctx.send(OutPort(0), 10);
         ctx.send(OutPort(1), 20);
         let (outbox, _, _) = ctx.into_effects();
-        assert_eq!(outbox, vec![(OutPort(0), 10), (OutPort(1), 20)]);
+        assert!(!outbox.spilled(), "small outboxes must stay inline");
+        assert_eq!(outbox.into_vec(), vec![(OutPort(0), 10), (OutPort(1), 20)]);
     }
 
     #[test]
@@ -372,7 +387,7 @@ mod tests {
         ctx.count("knockout", 1);
         ctx.stop_network();
         let (_, counters, stop) = ctx.into_effects();
-        assert_eq!(counters, vec![("knockout", 2), ("knockout", 1)]);
+        assert_eq!(counters.into_vec(), vec![("knockout", 2), ("knockout", 1)]);
         assert!(stop);
     }
 

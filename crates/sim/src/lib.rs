@@ -12,8 +12,11 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — validated virtual-time newtypes with a
 //!   total order.
-//! * [`EventQueue`] — a `(time, sequence)`-ordered pending set with lazy
-//!   cancellation; ties fire in scheduling order, making runs deterministic.
+//! * [`EventQueue`] — a `(time, sequence)`-ordered pending set, implemented
+//!   as an indexed two-tier calendar queue (near-future buckets + far-future
+//!   heap, `O(1)` cancellation); ties fire in scheduling order, making runs
+//!   deterministic. [`HeapQueue`] is the retained binary-heap baseline the
+//!   calendar queue is differentially tested and benchmarked against.
 //! * [`World`] / [`Simulation`] — the dispatch loop with event/time limits
 //!   and cooperative stop requests.
 //! * [`SplitMix64`] / [`Xoshiro256PlusPlus`] / [`SeedStream`] — in-crate PRNG
@@ -61,7 +64,7 @@ mod time;
 mod trace;
 mod world;
 
-pub use queue::{EventQueue, EventToken, QueueStats};
+pub use queue::{EventQueue, EventToken, HeapQueue, QueueStats};
 pub use rng::{mix64, SeedStream, SplitMix64, Xoshiro256PlusPlus};
 pub use time::{InvalidTimeError, SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceRecord};

@@ -1,37 +1,29 @@
-//! Deterministic pending-event queue.
+//! The baseline binary-heap queue with tombstone cancellation.
 //!
-//! Events are ordered by `(time, sequence)` where the sequence number is a
-//! monotone counter assigned at scheduling time. Two events scheduled for the
-//! same instant therefore fire in scheduling order, which — together with
-//! seeded RNG streams — makes entire simulations bit-reproducible.
+//! This is the original kernel queue, retained for two jobs:
 //!
-//! Cancellation is *lazy*: [`EventQueue::cancel`] removes the token from the
-//! live set and stale heap entries are discarded when they reach the top,
-//! keeping both operations cheap (`O(log n)` amortised for heap operations,
-//! `O(1)` for the set). Both [`cancel`](EventQueue::cancel) and
-//! [`pop`](EventQueue::pop) skim stale entries off the top before
-//! returning, maintaining the invariant that the heap's top entry is
-//! always live — which is what lets [`peek_time`](EventQueue::peek_time)
-//! take `&self`.
+//! * **differential validation** — the property suite drives random
+//!   schedule/cancel/pop sequences through both this queue and the
+//!   calendar [`EventQueue`](super::EventQueue) and asserts identical
+//!   behaviour (pop order, peek times, stats, cancel results);
+//! * **the recorded perf baseline** — the `abe-perf` harness measures the
+//!   queue-churn suite against both implementations, so every
+//!   `BENCH_kernel.json` documents the speedup of the indexed queue over
+//!   this one.
+//!
+//! Events are ordered by `(time, sequence)`; cancellation is *lazy*:
+//! [`HeapQueue::cancel`] removes the sequence number from a liveness
+//! [`HashSet`] and stale heap entries (tombstones) are skimmed off the top
+//! so the top entry is always live. Every operation therefore pays a hash
+//! on top of its `O(log n)` heap work — the costs the indexed queue
+//! removes.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
+use super::{EventToken, QueueStats};
 use crate::time::SimTime;
-
-/// Handle to a scheduled event, usable to [`cancel`](EventQueue::cancel) it.
-///
-/// Tokens are unique for the lifetime of the queue that issued them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventToken(u64);
-
-impl EventToken {
-    /// The raw sequence number backing this token (for diagnostics).
-    pub fn sequence(self) -> u64 {
-        self.0
-    }
-}
 
 struct Entry<E> {
     time: SimTime,
@@ -63,45 +55,19 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// Counters describing queue activity, exposed for kernel statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct QueueStats {
-    /// Events scheduled over the queue's lifetime.
-    pub scheduled: u64,
-    /// Events cancelled before firing.
-    pub cancelled: u64,
-    /// Events popped (delivered to the world).
-    pub popped: u64,
-}
-
-impl QueueStats {
-    /// Events still pending: scheduled but neither cancelled nor popped.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use abe_sim::QueueStats;
-    ///
-    /// let stats = QueueStats {
-    ///     scheduled: 10,
-    ///     cancelled: 2,
-    ///     popped: 5,
-    /// };
-    /// assert_eq!(stats.live(), 3);
-    /// ```
-    pub fn live(&self) -> u64 {
-        self.scheduled - self.cancelled - self.popped
-    }
-}
-
-/// A priority queue of future events ordered by `(time, sequence)`.
+/// The baseline `(time, sequence)` priority queue: one binary heap plus a
+/// hashed liveness set, with lazy (tombstone) cancellation.
+///
+/// Behaviourally identical to [`EventQueue`](super::EventQueue) — same pop
+/// order, same stats, same cancel semantics — but structurally the
+/// pre-refactor design. See the module docs for why it is kept.
 ///
 /// # Examples
 ///
 /// ```
-/// use abe_sim::{EventQueue, SimTime};
+/// use abe_sim::{HeapQueue, SimTime};
 ///
-/// let mut q = EventQueue::new();
+/// let mut q = HeapQueue::new();
 /// q.schedule(SimTime::from_secs(2.0), "later");
 /// let tok = q.schedule(SimTime::from_secs(1.0), "sooner");
 /// assert_eq!(q.peek_time(), Some(SimTime::from_secs(1.0)));
@@ -109,7 +75,7 @@ impl QueueStats {
 /// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "later")));
 /// assert!(q.is_empty());
 /// ```
-pub struct EventQueue<E> {
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Sequence numbers of scheduled-but-not-yet-fired, not-cancelled events.
     pending: HashSet<u64>,
@@ -117,13 +83,13 @@ pub struct EventQueue<E> {
     stats: QueueStats,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self {
@@ -134,24 +100,24 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` to fire at absolute time `time`.
-    ///
-    /// Returns a token that can later be passed to [`Self::cancel`].
+    /// Schedules `event` to fire at absolute time `time`: `O(log n)`
+    /// amortised (heap push) plus one hash insert.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
         self.pending.insert(seq);
         self.stats.scheduled += 1;
-        EventToken(seq)
+        EventToken { seq, slot: 0 }
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event: one hash remove, plus heap
+    /// pops for any tombstones this exposes on top.
     ///
     /// Returns `true` if the event was still pending, `false` if it already
     /// fired or was already cancelled.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if self.pending.remove(&token.0) {
+        if self.pending.remove(&token.seq) {
             self.stats.cancelled += 1;
             // Re-establish the top-is-live invariant immediately, so
             // `peek_time` never observes a stale top entry.
@@ -162,9 +128,8 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Removes and returns the earliest live event.
-    ///
-    /// Cancelled entries are skipped transparently.
+    /// Removes and returns the earliest live event: `O(log n)`, plus
+    /// tombstone skimming.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
             if self.pending.remove(&entry.seq) {
@@ -220,9 +185,9 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> fmt::Debug for EventQueue<E> {
+impl<E> fmt::Debug for HeapQueue<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("EventQueue")
+        f.debug_struct("HeapQueue")
             .field("live", &self.pending.len())
             .field("next_seq", &self.next_seq)
             .field("stats", &self.stats)
@@ -240,7 +205,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.schedule(t(3.0), 'c');
         q.schedule(t(1.0), 'a');
         q.schedule(t(2.0), 'b');
@@ -250,7 +215,7 @@ mod tests {
 
     #[test]
     fn ties_break_by_schedule_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         for i in 0..100u32 {
             q.schedule(t(1.0), i);
         }
@@ -260,7 +225,7 @@ mod tests {
 
     #[test]
     fn cancel_prevents_delivery() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         let tok = q.schedule(t(1.0), "cancel-me");
         q.schedule(t(2.0), "keep");
         assert!(q.cancel(tok));
@@ -271,7 +236,7 @@ mod tests {
 
     #[test]
     fn double_cancel_returns_false() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         let tok = q.schedule(t(1.0), ());
         q.schedule(t(5.0), ());
         assert!(q.cancel(tok));
@@ -279,22 +244,8 @@ mod tests {
     }
 
     #[test]
-    fn cancel_after_fire_returns_false() {
-        let mut q = EventQueue::new();
-        let tok = q.schedule(t(1.0), ());
-        assert!(q.pop().is_some());
-        assert!(!q.cancel(tok));
-    }
-
-    #[test]
-    fn cancel_unknown_token_is_false() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventToken(99)));
-    }
-
-    #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         let tok = q.schedule(t(1.0), 1);
         q.schedule(t(2.0), 2);
         q.cancel(tok);
@@ -302,21 +253,8 @@ mod tests {
     }
 
     #[test]
-    fn len_tracks_live_entries() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        let a = q.schedule(t(1.0), ());
-        q.schedule(t(2.0), ());
-        assert_eq!(q.len(), 2);
-        q.cancel(a);
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
-    }
-
-    #[test]
     fn stats_count_activity() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         let a = q.schedule(t(1.0), ());
         q.schedule(t(2.0), ());
         q.cancel(a);
@@ -328,72 +266,12 @@ mod tests {
     }
 
     #[test]
-    fn stats_live_tracks_pending() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(1.0), ());
-        q.schedule(t(2.0), ());
-        q.schedule(t(3.0), ());
-        assert_eq!(q.stats().live(), 3);
-        q.cancel(a);
-        q.pop();
-        assert_eq!(q.stats().live(), 1);
-        assert_eq!(q.stats().live(), q.len() as u64);
-    }
-
-    #[test]
-    fn stats_live_is_zero_when_drained() {
-        let mut q = EventQueue::new();
-        q.schedule(t(1.0), ());
-        q.pop();
-        assert_eq!(q.stats().live(), 0);
-    }
-
-    #[test]
     fn clear_empties_queue() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.schedule(t(1.0), ());
         q.schedule(t(2.0), ());
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
-    }
-
-    #[test]
-    fn tokens_are_unique_and_ordered() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(1.0), ());
-        let b = q.schedule(t(1.0), ());
-        assert_ne!(a, b);
-        assert!(a.sequence() < b.sequence());
-    }
-
-    #[test]
-    fn interleaved_schedule_pop_preserves_order() {
-        let mut q = EventQueue::new();
-        q.schedule(t(5.0), 5);
-        q.schedule(t(1.0), 1);
-        assert_eq!(q.pop(), Some((t(1.0), 1)));
-        q.schedule(t(3.0), 3);
-        q.schedule(t(2.0), 2);
-        assert_eq!(q.pop(), Some((t(2.0), 2)));
-        assert_eq!(q.pop(), Some((t(3.0), 3)));
-        assert_eq!(q.pop(), Some((t(5.0), 5)));
-    }
-
-    #[test]
-    fn many_cancels_do_not_disturb_order() {
-        let mut q = EventQueue::new();
-        let mut tokens = Vec::new();
-        for i in 0..50 {
-            tokens.push(q.schedule(t(i as f64), i));
-        }
-        // Cancel every odd event.
-        for (i, tok) in tokens.iter().enumerate() {
-            if i % 2 == 1 {
-                q.cancel(*tok);
-            }
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..50).filter(|i| i % 2 == 0).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,207 @@
+//! Differential property tests: the indexed calendar [`EventQueue`] versus
+//! the baseline [`HeapQueue`].
+//!
+//! The two implementations must be observationally identical — same pop
+//! order and payloads, same `peek_time`, same `cancel` results, same
+//! [`QueueStats`] — under arbitrary interleavings of schedule/cancel/pop.
+//! That equivalence is what makes the kernel's queue swap invisible to
+//! every simulation (and byte-identical in all `sweep-v1` JSON).
+
+use proptest::prelude::*;
+
+use abe_sim::{EventQueue, HeapQueue, SimTime, SplitMix64};
+
+/// Operations replayed against both queues in lockstep.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at an absolute time; payload is the op index.
+    Schedule(f64),
+    /// Cancel the n-th issued token (mod the number issued so far); hits
+    /// live, popped, and already-cancelled tokens alike.
+    CancelNth(usize),
+    /// Pop the earliest live event.
+    Pop,
+}
+
+/// Times from several regimes so every queue region is exercised: dense
+/// ties, the near calendar window, beyond-window far-heap times, and a
+/// continuous spread.
+fn time_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        // Dense ties on bucket-width multiples (same-bucket, same-time).
+        (0u32..32).prop_map(|k| f64::from(k) * 0.25),
+        // Inside the default 16 s calendar window.
+        0.0f64..16.0,
+        // Far beyond the window: far-heap placement and window jumps.
+        16.0f64..1e7,
+        // Continuous spread.
+        0.0f64..1e3,
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        time_strategy().prop_map(Op::Schedule),
+        time_strategy().prop_map(Op::Schedule),
+        (0usize..256).prop_map(Op::CancelNth),
+        Just(Op::Pop),
+    ]
+}
+
+/// Replays `ops` against both queues, asserting identical observable
+/// behaviour after every single operation.
+fn assert_equivalent(ops: &[Op]) {
+    let mut calendar: EventQueue<usize> = EventQueue::new();
+    let mut heap: HeapQueue<usize> = HeapQueue::new();
+    let mut calendar_tokens = Vec::new();
+    let mut heap_tokens = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Schedule(t) => {
+                let time = SimTime::from_secs(*t);
+                calendar_tokens.push(calendar.schedule(time, i));
+                heap_tokens.push(heap.schedule(time, i));
+            }
+            Op::CancelNth(n) => {
+                if !calendar_tokens.is_empty() {
+                    let k = n % calendar_tokens.len();
+                    assert_eq!(
+                        calendar.cancel(calendar_tokens[k]),
+                        heap.cancel(heap_tokens[k]),
+                        "cancel #{k} diverged at op {i}"
+                    );
+                }
+            }
+            Op::Pop => {
+                assert_eq!(calendar.pop(), heap.pop(), "pop diverged at op {i}");
+            }
+        }
+        assert_eq!(
+            calendar.peek_time(),
+            heap.peek_time(),
+            "peek diverged at op {i}"
+        );
+        assert_eq!(calendar.len(), heap.len(), "len diverged at op {i}");
+        assert_eq!(calendar.stats(), heap.stats(), "stats diverged at op {i}");
+    }
+    // Drain both: the remaining pop sequences must match exactly.
+    loop {
+        let (a, b) = (calendar.pop(), heap.pop());
+        assert_eq!(a, b, "drain diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(calendar.stats(), heap.stats());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary interleavings: identical pop order, peeks, cancels, and
+    /// stats.
+    #[test]
+    fn calendar_queue_matches_heap_queue(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        assert_equivalent(&ops);
+    }
+
+    /// A simulation-shaped workload: times never go backwards (schedule at
+    /// `now + delay`, `now` advancing with each pop), mimicking the kernel
+    /// run loop that the queues actually serve.
+    #[test]
+    fn monotone_workload_matches(
+        delays in prop::collection::vec(0.0f64..8.0, 1..200),
+        actions in prop::collection::vec(0u32..4, 1..200),
+    ) {
+        let delays: Vec<(f64, u32)> = delays
+            .into_iter()
+            .zip(actions)
+            .collect();
+        let mut calendar: EventQueue<usize> = EventQueue::new();
+        let mut heap: HeapQueue<usize> = HeapQueue::new();
+        let mut calendar_tokens = Vec::new();
+        let mut heap_tokens = Vec::new();
+        let mut now = 0.0f64;
+        for (i, &(delay, action)) in delays.iter().enumerate() {
+            let time = SimTime::from_secs(now + delay);
+            calendar_tokens.push(calendar.schedule(time, i));
+            heap_tokens.push(heap.schedule(time, i));
+            match action {
+                // Cancel-heavy, like `sync_tick` rescheduling.
+                0 | 1 => {
+                    let k = (i * 7 + 3) % calendar_tokens.len();
+                    prop_assert_eq!(
+                        calendar.cancel(calendar_tokens[k]),
+                        heap.cancel(heap_tokens[k])
+                    );
+                }
+                2 => {
+                    let (a, b) = (calendar.pop(), heap.pop());
+                    prop_assert_eq!(a, b);
+                    if let Some((t, _)) = a {
+                        now = t.as_secs();
+                    }
+                }
+                _ => {}
+            }
+            prop_assert_eq!(calendar.peek_time(), heap.peek_time());
+        }
+        loop {
+            let (a, b) = (calendar.pop(), heap.pop());
+            prop_assert_eq!(a.clone(), b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(calendar.stats(), heap.stats());
+    }
+}
+
+/// A long deterministic churn run (the shape of the `abe-perf` queue-churn
+/// suite): a steady-state pending set under schedule/cancel/pop pressure.
+#[test]
+fn long_churn_run_is_equivalent() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    let mut calendar: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapQueue<u64> = HeapQueue::new();
+    let mut calendar_tokens = Vec::new();
+    let mut heap_tokens = Vec::new();
+    let mut now = 0.0f64;
+    for i in 0..50_000u64 {
+        let roll = rng.next_u64() % 100;
+        if roll < 45 || calendar_tokens.is_empty() {
+            // Mixture of near and far delays.
+            let delay = if rng.next_u64().is_multiple_of(8) {
+                1000.0 + (rng.next_u64() % 10_000) as f64
+            } else {
+                (rng.next_u64() % 1_000) as f64 / 250.0
+            };
+            let time = SimTime::from_secs(now + delay);
+            calendar_tokens.push(calendar.schedule(time, i));
+            heap_tokens.push(heap.schedule(time, i));
+        } else if roll < 70 {
+            let k = (rng.next_u64() as usize) % calendar_tokens.len();
+            assert_eq!(
+                calendar.cancel(calendar_tokens[k]),
+                heap.cancel(heap_tokens[k]),
+                "cancel diverged at step {i}"
+            );
+        } else {
+            let (a, b) = (calendar.pop(), heap.pop());
+            assert_eq!(a, b, "pop diverged at step {i}");
+            if let Some((t, _)) = a {
+                now = t.as_secs();
+            }
+        }
+        debug_assert_eq!(calendar.peek_time(), heap.peek_time());
+    }
+    assert_eq!(calendar.len(), heap.len());
+    assert_eq!(calendar.stats(), heap.stats());
+    loop {
+        let (a, b) = (calendar.pop(), heap.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline stand-in for the `smallvec` crate.
+//!
+//! The build container has no network access, so this shim provides the
+//! subset of the `smallvec` API the workspace uses: a vector that stores up
+//! to `N` elements **inline** (no heap allocation) and spills to a `Vec`
+//! only when it grows past its inline capacity. The point is the same as
+//! the real crate's: hot paths that usually carry a handful of elements
+//! (e.g. the messages a protocol handler sends per event) never touch the
+//! allocator.
+//!
+//! Differences from the real crate, accepted for simplicity and to stay
+//! within `#![forbid(unsafe_code)]`:
+//!
+//! * inline storage is `[Option<T>; N]`, so there is a small per-slot
+//!   discriminant overhead;
+//! * `SmallVec` does not `Deref` to `[T]`; use [`SmallVec::iter`],
+//!   [`SmallVec::into_iter`](struct.SmallVec.html#method.into_iter), or
+//!   [`SmallVec::into_vec`] instead.
+//!
+//! # Example
+//!
+//! ```
+//! use smallvec::SmallVec;
+//!
+//! let mut v: SmallVec<[u32; 4]> = SmallVec::new();
+//! for i in 0..3 {
+//!     v.push(i);
+//! }
+//! assert!(!v.spilled()); // still inline
+//! assert_eq!(v.into_vec(), vec![0, 1, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// Backing-array marker implemented for `[T; N]`, so the type reads as
+/// `SmallVec<[T; N]>` like the real crate.
+pub trait Array {
+    /// Element type.
+    type Item;
+    /// Inline buffer type (implementation detail).
+    #[doc(hidden)]
+    type Buf: Buffer<Self::Item>;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    type Buf = [Option<T>; N];
+}
+
+/// Operations the inline buffer must support (implementation detail).
+#[doc(hidden)]
+pub trait Buffer<T> {
+    /// An all-empty buffer.
+    fn empty() -> Self;
+    /// The option slots, mutably.
+    fn slots_mut(&mut self) -> &mut [Option<T>];
+    /// The option slots.
+    fn slots(&self) -> &[Option<T>];
+}
+
+impl<T, const N: usize> Buffer<T> for [Option<T>; N] {
+    fn empty() -> Self {
+        [(); N].map(|_| None)
+    }
+    fn slots_mut(&mut self) -> &mut [Option<T>] {
+        self
+    }
+    fn slots(&self) -> &[Option<T>] {
+        self
+    }
+}
+
+enum Repr<A: Array> {
+    Inline { buf: A::Buf, len: usize },
+    Heap(Vec<A::Item>),
+}
+
+/// A vector storing up to `N` elements inline, spilling to the heap past
+/// that: `SmallVec<[T; N]>`.
+pub struct SmallVec<A: Array> {
+    repr: Repr<A>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// An empty vector using inline storage.
+    pub fn new() -> Self {
+        SmallVec {
+            repr: Repr::Inline {
+                buf: A::Buf::empty(),
+                len: 0,
+            },
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the vector has spilled to heap storage.
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, Repr::Heap(_))
+    }
+
+    /// Appends an element, spilling to the heap if the inline buffer is
+    /// full.
+    pub fn push(&mut self, value: A::Item) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                let slots = buf.slots_mut();
+                if *len < slots.len() {
+                    slots[*len] = Some(value);
+                    *len += 1;
+                } else {
+                    let mut vec: Vec<A::Item> = Vec::with_capacity(slots.len() * 2 + 1);
+                    for slot in slots.iter_mut() {
+                        vec.extend(slot.take());
+                    }
+                    vec.push(value);
+                    self.repr = Repr::Heap(vec);
+                }
+            }
+            Repr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes and returns the last element, if any.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    buf.slots_mut()[*len].take()
+                }
+            }
+            Repr::Heap(v) => v.pop(),
+        }
+    }
+
+    /// Removes all elements, keeping the storage mode.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                for slot in buf.slots_mut()[..*len].iter_mut() {
+                    *slot = None;
+                }
+                *len = 0;
+            }
+            Repr::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Iterates over the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &A::Item> {
+        let (slots, vec) = match &self.repr {
+            Repr::Inline { buf, len } => (&buf.slots()[..*len], &[][..]),
+            Repr::Heap(v) => (&[][..], v.as_slice()),
+        };
+        slots
+            .iter()
+            .map(|s| s.as_ref().expect("slot below len is filled"))
+            .chain(vec.iter())
+    }
+
+    /// Converts into a plain `Vec`, allocating only if still inline.
+    pub fn into_vec(self) -> Vec<A::Item> {
+        match self.repr {
+            Repr::Inline { mut buf, len } => {
+                let mut vec = Vec::with_capacity(len);
+                for slot in buf.slots_mut()[..len].iter_mut() {
+                    vec.extend(slot.take());
+                }
+                vec
+            }
+            Repr::Heap(v) => v,
+        }
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        let mut v = Self::new();
+        v.extend(iter);
+        v
+    }
+}
+
+/// Owning iterator over a [`SmallVec`].
+pub struct IntoIter<A: Array> {
+    repr: IntoIterRepr<A>,
+}
+
+enum IntoIterRepr<A: Array> {
+    Inline {
+        buf: A::Buf,
+        next: usize,
+        len: usize,
+    },
+    Heap(std::vec::IntoIter<A::Item>),
+}
+
+impl<A: Array> Iterator for IntoIter<A> {
+    type Item = A::Item;
+
+    fn next(&mut self) -> Option<A::Item> {
+        match &mut self.repr {
+            IntoIterRepr::Inline { buf, next, len } => {
+                if next < len {
+                    let item = buf.slots_mut()[*next].take();
+                    *next += 1;
+                    item
+                } else {
+                    None
+                }
+            }
+            IntoIterRepr::Heap(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.repr {
+            IntoIterRepr::Inline { next, len, .. } => len - next,
+            IntoIterRepr::Heap(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl<A: Array> ExactSizeIterator for IntoIter<A> {}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = IntoIter<A>;
+
+    fn into_iter(self) -> IntoIter<A> {
+        IntoIter {
+            repr: match self.repr {
+                Repr::Inline { buf, len } => IntoIterRepr::Inline { buf, next: 0, len },
+                Repr::Heap(v) => IntoIterRepr::Heap(v.into_iter()),
+            },
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for IntoIter<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IntoIter").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_below_capacity() {
+        let mut v: SmallVec<[u32; 4]> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let mut v: SmallVec<[u32; 2]> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.into_vec(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn into_iter_drains_both_modes() {
+        let inline: SmallVec<[u32; 4]> = (0..3).collect();
+        assert_eq!(inline.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let spilled: SmallVec<[u32; 2]> = (0..6).collect();
+        assert_eq!(
+            spilled.into_iter().collect::<Vec<_>>(),
+            (0..6).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pop_and_clear() {
+        let mut v: SmallVec<[u32; 2]> = SmallVec::new();
+        assert_eq!(v.pop(), None);
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.pop(), Some(2));
+        v.push(3);
+        v.push(4); // spill
+        assert_eq!(v.pop(), Some(4));
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn works_with_non_clone_items() {
+        struct NoClone(String);
+        let mut v: SmallVec<[NoClone; 2]> = SmallVec::new();
+        v.push(NoClone("a".into()));
+        v.push(NoClone("b".into()));
+        v.push(NoClone("c".into()));
+        let items: Vec<String> = v.into_iter().map(|x| x.0).collect();
+        assert_eq!(items, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn debug_formats_as_list() {
+        let v: SmallVec<[u32; 4]> = (0..2).collect();
+        assert_eq!(format!("{v:?}"), "[0, 1]");
+    }
+
+    #[test]
+    fn default_is_empty_inline() {
+        let v: SmallVec<[u8; 3]> = SmallVec::default();
+        assert!(v.is_empty());
+        assert!(!v.spilled());
+        assert_eq!(v.into_vec(), Vec::<u8>::new());
+    }
+}
