@@ -12,6 +12,8 @@ pub mod e13_known_n;
 pub mod e14_crash_churn;
 pub mod e15_partitions;
 pub mod e16_scaling;
+pub mod e17_adversary;
+pub mod e18_reorder_sync;
 pub mod e1_messages;
 pub mod e2_time;
 pub mod e3_activation;

@@ -260,6 +260,16 @@ pub fn registry() -> Vec<Experiment> {
             about: "election scaling to 10^6 nodes (million-node kernel stress)",
             run: experiments::e16_scaling::run,
         },
+        Experiment {
+            id: "e17",
+            about: "election complexity under budgeted scheduling adversaries",
+            run: experiments::e17_adversary::run,
+        },
+        Experiment {
+            id: "e18",
+            about: "synchroniser pulse skew under adversarial FIFO violation",
+            run: experiments::e18_reorder_sync::run,
+        },
     ]
 }
 
@@ -272,10 +282,10 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
         let mut sorted = ids.clone();
         sorted.dedup();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 18);
         assert_eq!(ids.len(), sorted.len());
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids[15], "e16");
+        assert_eq!(ids[17], "e18");
     }
 
     #[test]

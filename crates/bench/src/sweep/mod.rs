@@ -466,6 +466,21 @@ impl CellMetrics {
             .counter("fault_storm_deliveries", f.storm_deliveries)
     }
 
+    /// Records the scheduling-adversary auditor telemetry of a
+    /// [`NetworkReport`]: intercepted sends, clamped proposals, the max
+    /// per-edge empirical delay mean, and bound violations (always 0 by
+    /// the auditor's invariant — surfaced so the JSON *proves* it per
+    /// cell). Kept separate from [`with_report`](Self::with_report) so
+    /// adversary-free experiments emit byte-identical JSON to builds that
+    /// predate the adversary layer.
+    pub fn with_adversary(self, report: &NetworkReport) -> Self {
+        let a = &report.adversary;
+        self.metric("adv_max_edge_mean", a.max_edge_mean)
+            .counter("adv_intercepted", a.intercepted)
+            .counter("adv_clamped", a.clamped)
+            .counter("adv_violations", a.violations)
+    }
+
     /// Records the standard metrics of one election run (messages, virtual
     /// time, ticks, leader count) plus the report telemetry.
     ///

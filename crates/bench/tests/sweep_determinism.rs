@@ -245,6 +245,85 @@ mod scaling_regression {
     }
 }
 
+mod adversary_regression {
+    //! Adversary-layer determinism regressions: an **empty**
+    //! `AdversaryPlan` must not perturb a single byte of sweep output,
+    //! and the adversary experiments must stay bit-identical across
+    //! worker counts.
+
+    use super::*;
+    use abe_bench::experiments::{e17_adversary, e18_reorder_sync};
+    use abe_bench::sweep::CellMetrics;
+    use abe_core::AdversaryPlan;
+    use abe_election::{run_abe_calibrated, RingConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn e1_smoke_json_is_unchanged_by_an_explicit_empty_adversary_plan() {
+        // Baseline: e1 as shipped (its runner never touches the
+        // adversary API).
+        let baseline = abe_bench::experiments::e1_messages::run(&RunCtx::new(Scale::Smoke, 1));
+        // The same grid, every run built with an explicitly-empty
+        // AdversaryPlan: installing the hook without a strategy must be
+        // invisible to the JSON, byte for byte.
+        let spec = SweepSpec::new().axis_u32("n", &[8, 16, 64]).seeds(10);
+        let replayed = run_sweep(&spec, 1, |cell| {
+            let cfg = RingConfig::new(cell.u32("n"))
+                .delay(Arc::new(
+                    abe_core::delay::Exponential::from_mean(
+                        abe_bench::experiments::e1_messages::DELTA,
+                    )
+                    .unwrap(),
+                ))
+                .seed(cell.seed())
+                .adversary(AdversaryPlan::none());
+            let o = run_abe_calibrated(&cfg, abe_bench::experiments::e1_messages::A);
+            CellMetrics::new()
+                .metric("knockouts", o.report.counter("knockouts") as f64)
+                .with_election(&o)
+        })
+        .unwrap();
+        assert_eq!(baseline.sweep.metrics_json(), replayed.metrics_json());
+    }
+
+    #[test]
+    fn e17_smoke_is_byte_identical_across_thread_counts() {
+        let single = e17_adversary::run(&RunCtx::new(Scale::Smoke, 1));
+        let parallel = e17_adversary::run(&RunCtx::new(Scale::Smoke, 8));
+        assert_eq!(single.sweep.metrics_json(), parallel.sweep.metrics_json());
+        assert_eq!(single.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(single.findings, parallel.findings);
+    }
+
+    #[test]
+    fn e18_smoke_is_byte_identical_across_thread_counts() {
+        let single = e18_reorder_sync::run(&RunCtx::new(Scale::Smoke, 1));
+        let parallel = e18_reorder_sync::run(&RunCtx::new(Scale::Smoke, 8));
+        assert_eq!(single.sweep.metrics_json(), parallel.sweep.metrics_json());
+        assert_eq!(single.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(single.findings, parallel.findings);
+    }
+
+    #[test]
+    fn adversary_experiment_documents_are_valid_json_with_auditor_telemetry() {
+        for (report, id) in [
+            (e17_adversary::run(&RunCtx::new(Scale::Smoke, 2)), "e17"),
+            (e18_reorder_sync::run(&RunCtx::new(Scale::Smoke, 2)), "e18"),
+        ] {
+            let doc = abe_bench::sweep::json::document(&report, "smoke");
+            assert_valid_json(&doc);
+            assert!(doc.contains(&format!("\"experiment\":\"{id}\"")));
+            assert!(
+                doc.contains("\"adv_max_edge_mean\""),
+                "{id} lacks auditor telemetry"
+            );
+            assert!(doc.contains("\"adv_clamped\""));
+            assert!(doc.contains("\"adv_violations\""));
+            assert!(!report.sweep.cells.is_empty());
+        }
+    }
+}
+
 mod perf_harness {
     //! The `abe-perf` JSON document must parse and carry nonzero
     //! throughput figures — the same contract the CI perf-bench job

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use abe_sim::SeedStream;
 
+use crate::adversary::AdversaryPlan;
 use crate::class::NetworkClass;
 use crate::clock::ClockSpec;
 use crate::delay::{DelayModel, Deterministic, Exponential, SharedDelay};
@@ -67,6 +68,7 @@ pub struct NetworkBuilder {
     class: Option<NetworkClass>,
     trace_capacity: usize,
     fault: FaultPlan,
+    adversary: AdversaryPlan,
 }
 
 impl NetworkBuilder {
@@ -86,6 +88,7 @@ impl NetworkBuilder {
             class: None,
             trace_capacity: 0,
             fault: FaultPlan::new(),
+            adversary: AdversaryPlan::none(),
         }
     }
 
@@ -166,6 +169,26 @@ impl NetworkBuilder {
         self
     }
 
+    /// Installs a budgeted scheduling adversary (see
+    /// [`adversary`](crate::adversary)): the strategy chooses every
+    /// channel delay, audited online against the plan's per-edge
+    /// expected-delay bound. Composes with [`fault`](Self::fault) plans
+    /// (drops decided first, storms stretch the granted delay).
+    ///
+    /// The auditor bounds the **granted** delays; with
+    /// [`fifo(true)`](Self::fifo) the per-edge ordering clamp may still
+    /// push an arrival later than granted (so delivered delays can
+    /// exceed the audited means), and it neutralises reordering
+    /// strategies by construction — adversarial FIFO violation is only
+    /// meaningful on the default non-FIFO channels.
+    ///
+    /// The default (empty) plan intercepts nothing and leaves the
+    /// simulation bit-identical to one built without this call.
+    pub fn adversary(mut self, plan: AdversaryPlan) -> Self {
+        self.adversary = plan;
+        self
+    }
+
     /// Enables execution tracing, retaining at most `capacity` event
     /// records (default 0 = disabled). Read back via
     /// [`Network::trace`](crate::Network::trace).
@@ -224,6 +247,12 @@ impl NetworkBuilder {
             .collect();
         let proc_rng = seeds.stream("processing", 0);
         let faults = FaultRuntime::compile(&self.fault, &self.topo, seeds.stream("fault", 0));
+        // The adversary draws from its own dedicated child stream; stream
+        // derivation is a pure hash, so an empty plan (compile → None)
+        // leaves every other stream — and the whole run — untouched.
+        let adversary = self
+            .adversary
+            .compile(edge_count, seeds.stream("adversary", 0));
 
         Ok(Network::assemble(
             self.topo,
@@ -238,6 +267,7 @@ impl NetworkBuilder {
             self.tick_interval,
             self.trace_capacity,
             faults,
+            adversary,
         ))
     }
 }
@@ -254,6 +284,7 @@ impl fmt::Debug for NetworkBuilder {
             .field("tick_interval", &self.tick_interval)
             .field("class", &self.class)
             .field("fault", &self.fault)
+            .field("adversary", &self.adversary)
             .finish()
     }
 }

@@ -52,6 +52,21 @@ pub enum TopologyError {
     /// A random-graph builder failed to produce a strongly connected graph
     /// within its retry budget.
     NotConnected,
+    /// A regular-graph degree was infeasible: `d = 0`, `d >= n`, or `n·d`
+    /// odd (no d-regular graph on n nodes exists).
+    InvalidDegree {
+        /// Requested number of nodes.
+        n: u32,
+        /// Requested degree.
+        d: u32,
+    },
+    /// A generator dimension exceeded the supported maximum.
+    DimensionTooLarge {
+        /// Requested dimension.
+        dim: u32,
+        /// Largest supported dimension.
+        max: u32,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -67,6 +82,12 @@ impl fmt::Display for TopologyError {
                     f,
                     "random graph was not strongly connected within retry budget"
                 )
+            }
+            TopologyError::InvalidDegree { n, d } => {
+                write!(f, "no {d}-regular graph on {n} nodes exists")
+            }
+            TopologyError::DimensionTooLarge { dim, max } => {
+                write!(f, "dimension {dim} exceeds the supported maximum {max}")
             }
         }
     }

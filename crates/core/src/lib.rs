@@ -24,6 +24,9 @@
 //! * [`fault`] — deterministic fault injection (crash-stop / crash-recover
 //!   schedules, random drops, partition windows, delay storms), composed
 //!   via [`NetworkBuilder::fault`];
+//! * [`adversary`] — budgeted scheduling adversaries that *choose* delays
+//!   (Definition 1's adversarial clause) under an enforced per-edge
+//!   expected-delay bound, composed via [`NetworkBuilder::adversary`];
 //! * [`NetworkBuilder`] / [`Network`] — assembly and execution, producing a
 //!   [`NetworkReport`] with message counts and experiment counters.
 //!
@@ -72,6 +75,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversary;
 mod builder;
 mod class;
 pub mod clock;
@@ -82,6 +86,7 @@ mod net;
 mod protocol;
 pub mod topology;
 
+pub use adversary::{Adversary, AdversaryPlan, AdversaryStats, BudgetAuditor, SendView};
 pub use builder::NetworkBuilder;
 pub use class::{AbeParams, NetworkClass};
 pub use error::{BuildError, ClassViolation, InvalidParamError, TopologyError};

@@ -20,6 +20,7 @@ use abe_sim::{
     World, Xoshiro256PlusPlus,
 };
 
+use crate::adversary::{AdversaryRuntime, AdversaryStats};
 use crate::clock::LocalClock;
 use crate::delay::SharedDelay;
 use crate::fault::{FaultRuntime, FaultStats, SendFate};
@@ -85,6 +86,9 @@ pub struct NetworkReport {
     /// Fault-injection telemetry (crashes, drops, storm deliveries); all
     /// zero when no fault plan was installed.
     pub faults: FaultStats,
+    /// Scheduling-adversary auditor telemetry (intercepts, clamps, max
+    /// per-edge empirical mean); all zero when no adversary was installed.
+    pub adversary: AdversaryStats,
     /// Experiment counters accumulated via [`Ctx::count`].
     pub counters: BTreeMap<&'static str, u64>,
 }
@@ -116,6 +120,7 @@ pub struct Network<P: Protocol> {
     ticks: u64,
     trace: Option<TraceBuffer<String>>,
     faults: FaultRuntime,
+    adversary: Option<AdversaryRuntime>,
 }
 
 enum Dispatch<M> {
@@ -139,6 +144,7 @@ impl<P: Protocol> Network<P> {
         tick_interval: f64,
         trace_capacity: usize,
         faults: FaultRuntime,
+        adversary: Option<AdversaryRuntime>,
     ) -> Self {
         debug_assert_eq!(protos.len(), topo.node_count() as usize);
         debug_assert_eq!(edge_delays.len(), topo.edge_count());
@@ -188,6 +194,7 @@ impl<P: Protocol> Network<P> {
             ticks: 0,
             trace: (trace_capacity > 0).then(|| TraceBuffer::new(trace_capacity)),
             faults,
+            adversary,
         }
     }
 
@@ -271,6 +278,10 @@ impl<P: Protocol> Network<P> {
             ticks: net.ticks,
             queue_stats: kernel_report.queue_stats,
             faults: net.faults.stats,
+            adversary: net
+                .adversary
+                .as_ref()
+                .map_or_else(AdversaryStats::default, AdversaryRuntime::stats),
             // The report takes ownership of the accumulated counters; the
             // returned network keeps the protocol states but no longer
             // carries them (they have no accessor on `Network` anyway).
@@ -352,6 +363,26 @@ impl<P: Protocol> Network<P> {
                 self.nodes[src.index()].messages_sent += 1;
                 return;
             }
+        };
+        // Adversary hook: a scheduling adversary replaces the sampled
+        // channel delay for messages that will be delivered, audited
+        // against its per-edge budget. Storm stretch applies on top (the
+        // auditor bounds the adversary, not the fault plan).
+        let channel_delay = match self.adversary.as_mut() {
+            Some(adv) => {
+                let nodes = &self.nodes;
+                let heat = |i: u32| nodes[i as usize].proto.heat();
+                adv.intercept(
+                    edge.index(),
+                    src.index() as u32,
+                    dst.index() as u32,
+                    step.now().as_secs(),
+                    channel_delay,
+                    &heat,
+                    self.topo.node_count(),
+                )
+            }
+            None => channel_delay,
         };
         let mut arrival = step.now() + channel_delay * stretch + proc_delay;
         if self.fifo && arrival < channel.last_arrival {
@@ -886,6 +917,29 @@ mod fault_tests {
         let lines: Vec<&str> = net.trace().map(|r| r.data.as_str()).collect();
         assert!(lines.contains(&"crash n1"), "{lines:?}");
         assert!(lines.contains(&"recover n1"), "{lines:?}");
+    }
+
+    #[test]
+    fn empty_adversary_plan_is_bit_identical_to_no_plan() {
+        let build = |with_plan: bool| {
+            let mut b = NetworkBuilder::new(Topology::unidirectional_ring(2).unwrap())
+                .delay(crate::delay::Exponential::from_mean(0.25).unwrap())
+                .seed(17);
+            if with_plan {
+                b = b.adversary(crate::adversary::AdversaryPlan::none());
+            }
+            b.build(|i| Ticker {
+                source: i == 0,
+                budget: 6,
+                seen: Vec::new(),
+            })
+            .unwrap()
+        };
+        let (a, na) = build(false).run(RunLimits::unbounded());
+        let (b, nb) = build(true).run(RunLimits::unbounded());
+        assert_eq!(a, b);
+        assert_eq!(na.node(1).seen, nb.node(1).seen);
+        assert_eq!(a.adversary, crate::adversary::AdversaryStats::default());
     }
 
     #[test]

@@ -102,6 +102,17 @@ pub trait Protocol {
         let _ = rng;
         1
     }
+
+    /// A coarse non-negative "heat" of this node's current state, exposed
+    /// read-only to scheduling adversaries through
+    /// [`SendView::heat`](crate::SendView::heat). Zero (the default) means
+    /// cold: nothing an adversary gains by targeting this node. Protocols
+    /// with a natural critical locus — the token-holder of an election,
+    /// the frontier of a wave — report it here so *adaptive* adversaries
+    /// can probe the model without access to any other protocol state.
+    fn heat(&self) -> u32 {
+        0
+    }
 }
 
 /// Samples the 1-based index of the first success in independent

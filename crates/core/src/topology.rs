@@ -212,6 +212,88 @@ impl Topology {
         Self::from_edges(n, pairs)
     }
 
+    /// `dim`-dimensional hypercube: `2^dim` nodes, an edge in **both**
+    /// directions between every pair of nodes differing in exactly one
+    /// bit. Diameter `dim`, degree `dim` — the classic log-diameter
+    /// interconnect, and a natural shape for synchroniser sweeps beyond
+    /// rings and tori.
+    ///
+    /// `dim = 0` is the single node with no edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::DimensionTooLarge`] if `dim > 20`
+    /// (over a million nodes).
+    pub fn hypercube(dim: u32) -> Result<Self, TopologyError> {
+        const MAX_DIM: u32 = 20;
+        if dim > MAX_DIM {
+            return Err(TopologyError::DimensionTooLarge { dim, max: MAX_DIM });
+        }
+        let n = 1u32 << dim;
+        // Each ordered pair appears exactly once: i → i^bit for every
+        // (i, bit), and the reverse edge arises at i^bit.
+        let pairs = (0..n).flat_map(move |i| (0..dim).map(move |b| (i, i ^ (1 << b))));
+        Self::from_edges(n, pairs)
+    }
+
+    /// Random `d`-regular graph on `n` nodes (configuration model), with
+    /// **both** directions of every undirected edge, resampled until the
+    /// pairing is simple (no self-loops or parallel edges) and the graph
+    /// is connected. Deterministic in `(n, d, seed)`: randomness flows
+    /// from the `"random-regular"` child stream of `seed`, independent of
+    /// every simulation stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidDegree`] unless `1 ≤ d < n` and
+    /// `n·d` is even (a d-regular graph exists), or
+    /// [`TopologyError::NotConnected`] if no simple connected pairing is
+    /// found within the internal retry budget.
+    pub fn random_regular(n: u32, d: u32, seed: u64) -> Result<Self, TopologyError> {
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if d == 0 || d >= n || !(n as u64 * d as u64).is_multiple_of(2) {
+            return Err(TopologyError::InvalidDegree { n, d });
+        }
+        let mut rng = abe_sim::SeedStream::new(seed).stream("random-regular", 0);
+        // Configuration model: d stubs per node, shuffled and paired;
+        // reject pairings with loops/multi-edges and resample. For d ≥ 3
+        // the acceptance probability is bounded away from zero, so the
+        // retry budget is generous rather than tight.
+        const RETRIES: u32 = 500;
+        let mut stubs: Vec<u32> = (0..n)
+            .flat_map(|i| std::iter::repeat_n(i, d as usize))
+            .collect();
+        for _ in 0..RETRIES {
+            // Fisher–Yates shuffle driven by the dedicated stream.
+            for i in (1..stubs.len()).rev() {
+                let j = (rng.uniform_f64() * (i + 1) as f64) as usize;
+                stubs.swap(i, j.min(i));
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut simple = true;
+            for pair in stubs.chunks_exact(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if a == b || !seen.insert((a.min(b), a.max(b))) {
+                    simple = false;
+                    break;
+                }
+            }
+            if !simple {
+                continue;
+            }
+            let pairs = stubs
+                .chunks_exact(2)
+                .flat_map(|p| [(p[0], p[1]), (p[1], p[0])]);
+            let topo = Self::from_edges(n, pairs)?;
+            if topo.is_strongly_connected() {
+                return Ok(topo);
+            }
+        }
+        Err(TopologyError::NotConnected)
+    }
+
     /// Erdős–Rényi digraph `G(n, p)` with both orientations sampled
     /// independently, retried until strongly connected.
     ///
@@ -552,6 +634,88 @@ mod tests {
         let edges: Vec<EdgeId> = topo.edges().map(|(id, _)| id).collect();
         assert_eq!(topo.in_port(edges[0]), 0);
         assert_eq!(topo.in_port(edges[1]), 1);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let h = Topology::hypercube(3).unwrap();
+        assert_eq!(h.node_count(), 8);
+        assert_eq!(h.edge_count(), 24); // 2 · dim · 2^(dim-1)
+        for node in h.nodes() {
+            assert_eq!(h.out_degree(node), 3);
+            assert_eq!(h.in_degree(node), 3);
+            // Every neighbour differs in exactly one bit.
+            for &e in h.out_edges(node) {
+                let diff = (node.index() ^ h.edge(e).dst.index()).count_ones();
+                assert_eq!(diff, 1);
+            }
+            // Every in-edge has its reverse (wave algorithms need this).
+            for in_port in 0..h.in_degree(node) {
+                assert!(h.reverse_port(node, in_port).is_some());
+            }
+        }
+        assert!(h.is_strongly_connected());
+        assert_eq!(h.diameter(), Some(3));
+    }
+
+    #[test]
+    fn hypercube_degenerate_and_oversized() {
+        let point = Topology::hypercube(0).unwrap();
+        assert_eq!(point.node_count(), 1);
+        assert_eq!(point.edge_count(), 0);
+        assert!(point.is_strongly_connected());
+        assert_eq!(Topology::hypercube(1).unwrap().edge_count(), 2);
+        assert_eq!(
+            Topology::hypercube(21).unwrap_err(),
+            TopologyError::DimensionTooLarge { dim: 21, max: 20 }
+        );
+    }
+
+    #[test]
+    fn random_regular_is_regular_simple_and_deterministic() {
+        let a = Topology::random_regular(16, 3, 7).unwrap();
+        let b = Topology::random_regular(16, 3, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(a.is_strongly_connected());
+        let mut undirected = std::collections::HashSet::new();
+        for (_, e) in a.edges() {
+            // No self-loops; each undirected pair carried by exactly two
+            // directed edges.
+            assert_ne!(e.src, e.dst);
+            let key = (
+                e.src.index().min(e.dst.index()),
+                e.src.index().max(e.dst.index()),
+            );
+            undirected.insert(key);
+        }
+        assert_eq!(undirected.len() * 2, a.edge_count());
+        for node in a.nodes() {
+            assert_eq!(a.out_degree(node), 3);
+            assert_eq!(a.in_degree(node), 3);
+            for in_port in 0..a.in_degree(node) {
+                assert!(a.reverse_port(node, in_port).is_some());
+            }
+        }
+        // Different seeds give different graphs (overwhelmingly likely).
+        assert_ne!(a, Topology::random_regular(16, 3, 8).unwrap());
+    }
+
+    #[test]
+    fn random_regular_rejects_infeasible_degrees() {
+        assert_eq!(
+            Topology::random_regular(0, 2, 1).unwrap_err(),
+            TopologyError::Empty
+        );
+        for (n, d) in [(8, 0), (4, 4), (4, 7), (5, 3)] {
+            assert_eq!(
+                Topology::random_regular(n, d, 1).unwrap_err(),
+                TopologyError::InvalidDegree { n, d },
+                "n={n} d={d}"
+            );
+        }
+        // n·d even and d < n: the smallest cycle cases work.
+        assert!(Topology::random_regular(3, 2, 1).is_ok());
+        assert!(Topology::random_regular(4, 3, 1).is_ok());
     }
 
     #[test]

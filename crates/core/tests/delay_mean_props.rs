@@ -1,0 +1,100 @@
+//! Property test: every delay model's empirical mean converges to its
+//! configured/analytic mean.
+//!
+//! This is the exact machinery the adversary subsystem's `BudgetAuditor`
+//! relies on — per-edge *empirical* means standing in for the expected
+//! delay of Definition 1 — so the convergence contract is load-bearing:
+//! if a model's `mean()` drifted from what `sample()` actually produces,
+//! budget enforcement (and every class-validation check) would silently
+//! audit the wrong bound.
+
+use proptest::prelude::*;
+
+use abe_core::delay::{
+    Bimodal, DelayModel, Deterministic, Erlang, Exponential, Hyperexponential, LogNormal, Pareto,
+    Retransmission, Shifted, Uniform, Weibull,
+};
+use abe_sim::Xoshiro256PlusPlus;
+use rand::SeedableRng;
+
+/// Samples `n` delays and returns their arithmetic mean.
+fn empirical_mean(model: &dyn DelayModel, n: u64, seed: u64) -> f64 {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    (0..n)
+        .map(|_| model.sample(&mut rng).as_secs())
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Asserts the empirical mean over 50k samples sits within `tol` relative
+/// error of the analytic mean.
+fn check(model: &dyn DelayModel, seed: u64, tol: f64) -> Result<(), TestCaseError> {
+    let analytic = model.mean().as_secs();
+    let empirical = empirical_mean(model, 50_000, seed);
+    let rel = (empirical - analytic).abs() / analytic.max(1e-12);
+    prop_assert!(
+        rel < tol,
+        "{}: empirical {empirical} vs analytic {analytic} (rel {rel:.4}, seed {seed})",
+        model.name()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bounded-support families: tight tolerance.
+    #[test]
+    fn bounded_families_mean_converges(
+        mean in 0.25f64..4.0,
+        spread in 0.0f64..1.0,
+        slow_prob in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        check(&Deterministic::new(mean).unwrap(), seed, 1e-9)?;
+        check(&Uniform::from_mean(mean, spread).unwrap(), seed, 0.02)?;
+        check(&Bimodal::new(mean, mean * 8.0, slow_prob).unwrap(), seed, 0.05)?;
+    }
+
+    /// Unbounded light-tailed families (the strictly-ABE core).
+    #[test]
+    fn light_tailed_families_mean_converges(
+        mean in 0.25f64..4.0,
+        k in 1u32..8,
+        seed in 0u64..1_000_000,
+    ) {
+        check(&Exponential::from_mean(mean).unwrap(), seed, 0.04)?;
+        check(&Erlang::from_mean(k, mean).unwrap(), seed, 0.04)?;
+        check(&Shifted::new(0.5, Exponential::from_mean(mean).unwrap()).unwrap(), seed, 0.04)?;
+        check(
+            &Hyperexponential::new(&[(0.9, mean * 0.5), (0.1, mean * 5.5)]).unwrap(),
+            seed,
+            0.06,
+        )?;
+    }
+
+    /// Heavy-tailed families: wider tolerance (variance is large but
+    /// finite over the sampled parameter ranges).
+    #[test]
+    fn heavy_tailed_families_mean_converges(
+        mean in 0.5f64..4.0,
+        pareto_shape in 2.2f64..4.0,
+        weibull_shape in 0.7f64..3.0,
+        sigma in 0.1f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        check(&Pareto::from_mean(pareto_shape, mean).unwrap(), seed, 0.10)?;
+        check(&Weibull::from_mean(weibull_shape, mean).unwrap(), seed, 0.08)?;
+        check(&LogNormal::from_mean(mean, sigma).unwrap(), seed, 0.08)?;
+    }
+
+    /// The paper's lossy-channel model: mean is exactly slot/p.
+    #[test]
+    fn retransmission_mean_converges(
+        p in 0.1f64..1.0,
+        slot in 0.25f64..2.0,
+        seed in 0u64..1_000_000,
+    ) {
+        check(&Retransmission::new(p, slot).unwrap(), seed, 0.05)?;
+    }
+}

@@ -215,6 +215,19 @@ impl Protocol for AbeElection {
         // `1/p` simulation events with one, distribution unchanged.
         geometric_trials(rng, self.wake_probability())
     }
+
+    fn heat(&self) -> u32 {
+        // The adaptive adversary's view: active nodes are the current
+        // token-holders (a delivery to one decides a collision or the
+        // election itself), idle nodes can still wake and act on a token.
+        // Passive nodes only relay — cold, so the adversary banks budget
+        // on the long knocked-out chains and spends it at the frontier.
+        match self.state {
+            ElectionState::Active => 2,
+            ElectionState::Idle => 1,
+            ElectionState::Passive | ElectionState::Leader => 0,
+        }
+    }
 }
 
 #[cfg(test)]

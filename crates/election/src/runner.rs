@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use abe_core::adversary::AdversaryPlan;
 use abe_core::clock::ClockSpec;
 use abe_core::delay::{Exponential, SharedDelay};
 use abe_core::fault::{FaultPlan, OutcomeClass};
@@ -54,6 +55,8 @@ pub struct RingConfig {
     pub kind: RingKind,
     /// Fault-injection plan (defaults to empty: no faults).
     pub fault: FaultPlan,
+    /// Scheduling-adversary plan (defaults to empty: oblivious delays).
+    pub adversary: AdversaryPlan,
 }
 
 impl RingConfig {
@@ -74,6 +77,7 @@ impl RingConfig {
             max_events: 5_000_000,
             kind: RingKind::Unidirectional,
             fault: FaultPlan::new(),
+            adversary: AdversaryPlan::none(),
         }
     }
 
@@ -113,6 +117,12 @@ impl RingConfig {
         self
     }
 
+    /// Installs a budgeted scheduling-adversary plan for the run.
+    pub fn adversary(mut self, adversary: AdversaryPlan) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
     /// Replaces the event budget. Fault experiments lower it: a run that
     /// loses a token can livelock (an Active node with no token in flight
     /// purges every later token forever), so stalls are detected by
@@ -134,6 +144,7 @@ impl RingConfig {
             .fifo(self.fifo)
             .seed(self.seed)
             .fault(self.fault.clone())
+            .adversary(self.adversary.clone())
     }
 
     fn limits(&self) -> RunLimits {

@@ -69,6 +69,13 @@ impl Online {
         self.mean
     }
 
+    /// Sum of all observations (`mean · count`); 0 for an empty
+    /// accumulator. Reconstructed from the running mean, so it matches
+    /// the naive sum up to floating-point rounding.
+    pub fn total(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
     /// Population variance (divide by `n`); 0 with fewer than 1 sample.
     pub fn population_variance(&self) -> f64 {
         if self.count == 0 {
@@ -178,6 +185,14 @@ mod tests {
         assert_eq!(acc.min(), None);
         assert_eq!(acc.max(), None);
         assert_eq!(acc.std_error(), 0.0);
+    }
+
+    #[test]
+    fn total_matches_naive_sum() {
+        assert_eq!(Online::new().total(), 0.0);
+        let xs = [1.5, 2.25, -0.75, 10.0];
+        let acc: Online = xs.into_iter().collect();
+        assert!((acc.total() - xs.iter().sum::<f64>()).abs() < 1e-12);
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub struct GraphSynchronizer<P: PulseProtocol> {
     round: Option<u64>,
     inbox: RoundInbox<P::Message>,
     finished: bool,
+    /// Largest observed envelope lead: how many rounds ahead of this
+    /// node's last pulse the most advanced arriving envelope was.
+    max_lead: u64,
 }
 
 impl<P: PulseProtocol> GraphSynchronizer<P> {
@@ -61,6 +64,7 @@ impl<P: PulseProtocol> GraphSynchronizer<P> {
             round: None,
             inbox: RoundInbox::new(),
             finished: false,
+            max_lead: 0,
         }
     }
 
@@ -77,6 +81,15 @@ impl<P: PulseProtocol> GraphSynchronizer<P> {
     /// Whether this node has stopped pulsing.
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// The largest **transient pulse skew** this node has witnessed: the
+    /// maximum, over all received envelopes, of how many rounds ahead of
+    /// this node's own pulse count the sender was when it sent. Bounded
+    /// by the graph's diameter on reliable runs; adversarial reordering
+    /// and bursts drive it toward that bound.
+    pub fn max_lead(&self) -> u64 {
+        self.max_lead
     }
 
     fn fire_pulse(&mut self, round: u64, ctx: &mut Ctx<'_, SyncEnvelope<P::Message>>) {
@@ -144,8 +157,18 @@ impl<P: PulseProtocol> Protocol for GraphSynchronizer<P> {
     }
 
     fn on_message(&mut self, from: InPort, msg: Self::Message, ctx: &mut Ctx<'_, Self::Message>) {
+        // An envelope for round r was sent at the sender's pulse r; the
+        // sender's lead over us is r + 1 − rounds_fired (when positive).
+        let lead = (msg.round + 1).saturating_sub(self.rounds_fired());
+        self.max_lead = self.max_lead.max(lead);
         self.inbox.push(msg.round, from, msg.app);
         self.try_advance(ctx);
+    }
+
+    fn heat(&self) -> u32 {
+        // Nodes still pulsing are the synchroniser's frontier; a finished
+        // node ignores every further envelope.
+        u32::from(!self.finished)
     }
 }
 

@@ -159,6 +159,14 @@ impl Protocol for Echo {
         }
         self.maybe_finish(ctx);
     }
+
+    fn heat(&self) -> u32 {
+        // The wave frontier, as seen by adaptive scheduling adversaries:
+        // engaged-but-undecided nodes are still collecting neighbour
+        // messages (delaying a delivery to one stalls the convergecast);
+        // unreached and finished nodes are cold.
+        u32::from(self.engaged && !self.is_done())
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 //! |--------------------|-------|----------|
 //! | [`sim`] | `abe-sim` | deterministic discrete-event kernel, PRNG streams |
 //! | [`core`](mod@core) | `abe-core` | delay/clock/processing models, topologies, protocol API, network runtime |
+//! | [`adversary`] | `abe-adversary` | budgeted scheduling adversaries (Definition 1's adversarial-delay clause) |
 //! | [`election`] | `abe-election` | the paper's §3 algorithm, ablation, Itai–Rodeh and Chang–Roberts baselines |
 //! | [`sync`] | `abe-sync` | graph synchroniser (Theorem 1 floor), ABD synchroniser + violation counting, synchronous Itai–Rodeh |
 //! | [`stats`] | `abe-stats` | online moments, complexity-class fitting, tables |
@@ -53,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub use abe_adversary as adversary;
 pub use abe_core as core;
 pub use abe_election as election;
 pub use abe_live as live;
