@@ -18,8 +18,22 @@
 //! `PATH` is treated as a directory receiving `<id>.json` per experiment.
 //! The `"sweep"` block of each document is byte-identical for any
 //! `--threads` value.
+//!
+//! The `campaign` subcommand runs the declarative scenario corpus
+//! instead of the hand-written registry:
+//!
+//! ```text
+//! abe-experiments campaign                   # run scenarios/, diff goldens
+//! abe-experiments campaign --bless           # rewrite the goldens
+//! abe-experiments campaign --fuzz 32         # + 32 seeded random scenarios
+//! abe-experiments campaign --fuzz-seed 7     # ... reproducibly
+//! ```
+//!
+//! The campaign exits nonzero on any golden drift, missing golden, or
+//! outcome-oracle violation. See `docs/SCENARIO.md`.
 
 use std::io::Write;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -27,6 +41,9 @@ use abe_bench::{registry, sweep, RunCtx, Scale};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("campaign") {
+        return campaign_main(&args[1..]);
+    }
     let mut scale = Scale::Quick;
     let mut selected: Vec<String> = Vec::new();
     let mut out_file: Option<String> = None;
@@ -179,6 +196,163 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `campaign` subcommand: run the scenario corpus against its
+/// goldens, optionally followed by a seeded fuzz pass.
+fn campaign_main(args: &[String]) -> ExitCode {
+    use abe_scenario::campaign::{check_oracles, document, CampaignOptions};
+    use abe_scenario::{compile, fuzz};
+
+    let mut opts = CampaignOptions {
+        scenarios_dir: PathBuf::from("scenarios"),
+        goldens_dir: PathBuf::from("scenarios/goldens"),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        bless: false,
+    };
+    let mut fuzz_count: u32 = 0;
+    let mut fuzz_seed: u64 = 0;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--bless" => opts.bless = true,
+            "--scenarios" => match iter.next() {
+                Some(dir) => opts.scenarios_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--scenarios requires a directory path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--goldens" => match iter.next() {
+                Some(dir) => opts.goldens_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--goldens requires a directory path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.threads = n,
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fuzz" => match iter.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => fuzz_count = n,
+                None => {
+                    eprintln!("--fuzz requires a scenario count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fuzz-seed" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => fuzz_seed = s,
+                None => {
+                    eprintln!("--fuzz-seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "abe-experiments campaign — run the declarative scenario corpus\n\n\
+                     USAGE:\n  abe-experiments campaign [--scenarios DIR] [--goldens DIR]\n\
+                     [--threads N] [--bless] [--fuzz N] [--fuzz-seed S]\n\n\
+                     --scenarios DIR  corpus of .abes files (default: scenarios)\n\
+                     --goldens DIR    committed goldens (default: scenarios/goldens)\n\
+                     --bless          rewrite goldens from this run\n\
+                     --fuzz N         also run N seeded random scenarios through the\n\
+                                      outcome + determinism oracles\n\
+                     --fuzz-seed S    seed for --fuzz (default 0); a failing scenario\n\
+                                      is reproducible from its printed seed\n\n\
+                     Exits nonzero on any golden drift, missing golden, or oracle\n\
+                     violation. See docs/SCENARIO.md."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown campaign argument: {other} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        "campaign: corpus {} vs goldens {} [{} threads]{}",
+        opts.scenarios_dir.display(),
+        opts.goldens_dir.display(),
+        opts.threads,
+        if opts.bless { " (blessing)" } else { "" }
+    );
+    let report = match abe_scenario::run_campaign(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot list {}: {e}", opts.scenarios_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.results.is_empty() {
+        eprintln!(
+            "no .abes scenarios found in {}",
+            opts.scenarios_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    print!("{}", report.render());
+    let mut ok = report.ok();
+
+    if fuzz_count > 0 {
+        eprintln!("fuzz: {fuzz_count} scenarios from seed {fuzz_seed}");
+        let mut failures = 0u32;
+        for scenario in fuzz::corpus(fuzz_count, fuzz_seed) {
+            let compiled = match compile(&scenario) {
+                Ok(c) => c,
+                Err(e) => {
+                    println!("FUZZ    {}: does not compile: {e}", scenario.name);
+                    failures += 1;
+                    continue;
+                }
+            };
+            let (a, b) = match (compiled.run(opts.threads), compiled.run(1)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    println!("FUZZ    {}: run failed: {e}", scenario.name);
+                    failures += 1;
+                    continue;
+                }
+            };
+            if document(&scenario, &a) != document(&scenario, &b) {
+                println!(
+                    "FUZZ    {}: document differs between {} threads and 1",
+                    scenario.name, opts.threads
+                );
+                failures += 1;
+                continue;
+            }
+            let oracle = check_oracles(&scenario, &a);
+            if !oracle.ok() {
+                println!(
+                    "FUZZ    {}: {} of {} cells violate the outcome oracles:",
+                    scenario.name,
+                    oracle.violations.len(),
+                    oracle.cells_checked
+                );
+                for v in oracle.violations.iter().take(3) {
+                    println!("        {v}");
+                }
+                failures += 1;
+            }
+        }
+        println!(
+            "fuzz: {}/{fuzz_count} scenarios ok (seed {fuzz_seed})",
+            fuzz_count - failures
+        );
+        ok &= failures == 0;
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Writes `bytes` to `path`, creating missing parent directories.
 fn write_creating_dirs(path: &str, bytes: &[u8]) -> std::io::Result<()> {
     if let Some(parent) = std::path::Path::new(path).parent() {
@@ -200,6 +374,8 @@ fn print_help() {
          --threads N sweep-engine worker count (default: all cores);\n\
                      results are bit-identical for any N\n\
          --json PATH one self-describing JSON document per experiment\n\
-                     (single .json file for one experiment, else a directory)"
+                     (single .json file for one experiment, else a directory)\n\n\
+         SUBCOMMANDS:\n  campaign  run the declarative scenario corpus against its goldens\n\
+                   (see `abe-experiments campaign --help` and docs/SCENARIO.md)"
     );
 }

@@ -324,6 +324,75 @@ mod adversary_regression {
     }
 }
 
+mod scenario_differential {
+    //! The declarative corpus must be *the same experiments as data*:
+    //! compiling `scenarios/e1_messages.abes` and running it must
+    //! reproduce the hand-written `e1_messages::run` sweep block byte
+    //! for byte, at any worker count. The same holds for the e14 and
+    //! e17 ports (fault plans and adversary plans included).
+
+    use super::*;
+    use abe_scenario::{compile, parse};
+    use std::path::Path;
+
+    fn corpus_scenario(file: &str) -> abe_scenario::Scenario {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../scenarios")
+            .join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        parse(&text).unwrap_or_else(|e| panic!("parsing {file}: {e}"))
+    }
+
+    #[test]
+    fn declarative_e1_is_byte_identical_to_the_handwritten_experiment() {
+        let compiled = compile(&corpus_scenario("e1_messages.abes")).unwrap();
+        for threads in [1usize, 8] {
+            let declarative = compiled.run(threads).unwrap();
+            let handwritten = experiments::e1_messages::run(&RunCtx::new(Scale::Smoke, threads));
+            assert_eq!(
+                declarative.metrics_json(),
+                handwritten.sweep.metrics_json(),
+                "e1 scenario diverges from e1_messages.rs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn declarative_e14_is_byte_identical_to_the_handwritten_experiment() {
+        let compiled = compile(&corpus_scenario("e14_crash_churn.abes")).unwrap();
+        let declarative = compiled.run(4).unwrap();
+        let handwritten = experiments::e14_crash_churn::run(&RunCtx::new(Scale::Smoke, 4));
+        assert_eq!(
+            declarative.metrics_json(),
+            handwritten.sweep.metrics_json(),
+            "e14 scenario diverges from e14_crash_churn.rs"
+        );
+    }
+
+    #[test]
+    fn declarative_e17_is_byte_identical_to_the_handwritten_experiment() {
+        let compiled = compile(&corpus_scenario("e17_adversary.abes")).unwrap();
+        let declarative = compiled.run(4).unwrap();
+        let handwritten = experiments::e17_adversary::run(&RunCtx::new(Scale::Smoke, 4));
+        assert_eq!(
+            declarative.metrics_json(),
+            handwritten.sweep.metrics_json(),
+            "e17 scenario diverges from e17_adversary.rs"
+        );
+    }
+
+    #[test]
+    fn campaign_documents_are_valid_json() {
+        let scenario = corpus_scenario("e1_messages.abes");
+        let outcome = compile(&scenario).unwrap().run(2).unwrap();
+        let doc = abe_scenario::campaign::document(&scenario, &outcome);
+        assert_valid_json(&doc);
+        assert!(doc.starts_with("{\"schema\":\"abe-scenario/campaign-v1\""));
+        assert!(doc.contains("\"scenario\":\"e1_messages\""));
+    }
+}
+
 mod perf_harness {
     //! The `abe-perf` JSON document must parse and carry nonzero
     //! throughput figures — the same contract the CI perf-bench job

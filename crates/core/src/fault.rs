@@ -479,6 +479,26 @@ impl OutcomeClass {
             OutcomeClass::WrongLeader => "wrong-leader",
         }
     }
+
+    /// Inverse of [`as_str`](Self::as_str): resolves a stable name back to
+    /// the class, or `None` for anything else.
+    ///
+    /// ```
+    /// use abe_core::fault::OutcomeClass;
+    /// assert_eq!(
+    ///     OutcomeClass::from_name("wrong-leader"),
+    ///     Some(OutcomeClass::WrongLeader)
+    /// );
+    /// assert_eq!(OutcomeClass::from_name("mixed"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "completed" => Some(OutcomeClass::Completed),
+            "stalled" => Some(OutcomeClass::Stalled),
+            "wrong-leader" => Some(OutcomeClass::WrongLeader),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for OutcomeClass {

@@ -1,0 +1,298 @@
+//! Seeded random scenario generation.
+//!
+//! [`random_scenario`] maps a `u64` seed to a complete, always-valid
+//! [`Scenario`] drawn from the space the workspace already proves
+//! invariants over — so every generated scenario comes with a free
+//! oracle:
+//!
+//! * plain elections (any protocol) must complete with exactly one
+//!   leader;
+//! * churn scenarios are recorded classified and expect `mixed`: stalls
+//!   are legal, a wrong leader never is (e14's safety finding);
+//! * adversary scenarios expect `completed` with zero auditor
+//!   violations (e17's legality proof).
+//!
+//! Generation is pure seed-derivation ([`abe_sim::SeedStream`]):
+//! the same seed always yields the same scenario, so a failing fuzz
+//! case is reproducible from the one number the harness prints.
+
+use abe_sim::SeedStream;
+
+use crate::model::{
+    AdversarySpec, AxisSpec, AxisValues, Bind, DelaySpec, Expectation, FaultSpec, OutcomeClass,
+    ProtocolSpec, RecordMode, Scenario, TopologySpec, DEFAULT_BURST_P, DEFAULT_MAX_EVENTS,
+    DEFAULT_PARETO_SHAPE,
+};
+
+/// Deterministic choice helper over one scenario seed.
+struct Picker {
+    stream: SeedStream,
+}
+
+impl Picker {
+    fn new(seed: u64) -> Self {
+        Self {
+            stream: SeedStream::new(seed),
+        }
+    }
+
+    /// A deterministic draw in `0..n`, independent per label.
+    fn pick(&self, label: &str, n: u64) -> u64 {
+        self.stream.child_seed(label, 0) % n
+    }
+
+    fn choose<'a, T>(&self, label: &str, items: &'a [T]) -> &'a T {
+        &items[self.pick(label, items.len() as u64) as usize]
+    }
+}
+
+/// Generates one always-valid scenario from a seed.
+///
+/// The scenario compiles (the fuzz smoke test asserts this for every
+/// seed it draws) and its declared expectation is an invariant the
+/// workspace already regression-tests, so running it under the
+/// campaign oracles checks real behaviour, not generator luck.
+pub fn random_scenario(seed: u64) -> Scenario {
+    let p = Picker::new(seed);
+    let name = format!("fuzz_{seed:016x}");
+    let delay = random_delay(&p);
+    let seeds = 2 + p.pick("seeds", 2); // 2 or 3
+    let base_seed = p.pick("base-seed", 3); // 0, 1, or 2
+
+    // Ring size: fixed, or a two-point axis.
+    let (n, mut axes, max_n) = if p.pick("n-axis", 2) == 0 {
+        let n = *p.choose("n", &[4u32, 6, 8, 10, 12]);
+        (Some(n), Vec::new(), n)
+    } else {
+        let values = p.choose("n-values", &[[4u32, 8], [6, 12], [4, 10]]);
+        (
+            None,
+            vec![AxisSpec {
+                name: "n".to_string(),
+                values: AxisValues::U32(values.to_vec()),
+            }],
+            values[1],
+        )
+    };
+
+    match p.pick("family", 3) {
+        // Plain election: any protocol; baselines stay on uni-rings.
+        0 => {
+            let protocol = random_protocol(&p, true);
+            let topology = if is_baseline(&protocol) {
+                TopologySpec::UniRing
+            } else {
+                random_topology(&p, &mut axes)
+            };
+            Scenario {
+                name,
+                protocol,
+                delay,
+                topology,
+                n,
+                axes,
+                seeds,
+                base_seed,
+                max_events: DEFAULT_MAX_EVENTS,
+                fault: None,
+                adversary: None,
+                filter: None,
+                record: RecordMode::Election,
+                expect: Expectation::Class(OutcomeClass::Completed),
+            }
+        }
+        // Churn: stalls are legal (expect mixed), wrong leaders never.
+        1 => {
+            let topology = random_topology(&p, &mut axes);
+            let events = if p.pick("churn-axis", 2) == 0 {
+                axes.push(AxisSpec {
+                    name: "churn".to_string(),
+                    values: AxisValues::U32(vec![0, 1, 2]),
+                });
+                Bind::Axis
+            } else {
+                Bind::Fixed(p.pick("churn", 3) as u32)
+            };
+            Scenario {
+                name,
+                protocol: random_protocol(&p, false),
+                delay,
+                topology,
+                n,
+                axes,
+                seeds,
+                base_seed,
+                max_events: 50_000,
+                fault: Some(FaultSpec {
+                    events,
+                    horizon: 2.0 * f64::from(max_n),
+                    downtime: *p.choose("downtime", &[1.0, 2.0, 4.0]),
+                }),
+                adversary: None,
+                filter: None,
+                record: RecordMode::Classified,
+                expect: Expectation::Mixed,
+            }
+        }
+        // Adversary: legal schedules attack liveness margins, never
+        // safety or termination — expect completed, zero violations.
+        _ => {
+            let topology = random_topology(&p, &mut axes);
+            const STRATEGY_SETS: [&[&str]; 3] = [
+                &["none", "swap", "burst"],
+                &["swap", "reorder", "adaptive"],
+                &["none", "adaptive"],
+            ];
+            let strategy = if p.pick("strategy-axis", 2) == 0 {
+                let values = p.choose("strategies", &STRATEGY_SETS);
+                axes.push(AxisSpec {
+                    name: "strategy".to_string(),
+                    values: AxisValues::Str(values.iter().map(|s| s.to_string()).collect()),
+                });
+                Bind::Axis
+            } else {
+                Bind::Fixed(
+                    (*p.choose(
+                        "strategy",
+                        &["none", "swap", "burst", "reorder", "adaptive"],
+                    ))
+                    .to_string(),
+                )
+            };
+            let budget = if p.pick("budget-axis", 2) == 0 {
+                axes.push(AxisSpec {
+                    name: "budget".to_string(),
+                    values: AxisValues::F64(vec![1.0, 2.0]),
+                });
+                Bind::Axis
+            } else {
+                Bind::Fixed(*p.choose("budget", &[1.0, 2.0, 4.0]))
+            };
+            Scenario {
+                name,
+                protocol: random_protocol(&p, false),
+                delay,
+                topology,
+                n,
+                axes,
+                seeds,
+                base_seed,
+                max_events: DEFAULT_MAX_EVENTS,
+                fault: None,
+                adversary: Some(AdversarySpec {
+                    strategy,
+                    budget,
+                    burst_p: DEFAULT_BURST_P,
+                    pareto_shape: DEFAULT_PARETO_SHAPE,
+                }),
+                filter: None,
+                record: RecordMode::Adversary,
+                expect: Expectation::Class(OutcomeClass::Completed),
+            }
+        }
+    }
+}
+
+fn is_baseline(p: &ProtocolSpec) -> bool {
+    matches!(
+        p,
+        ProtocolSpec::ItaiRodeh | ProtocolSpec::ChangRoberts | ProtocolSpec::Peterson
+    )
+}
+
+/// ABE protocols with safe parameters; baselines only when allowed
+/// (fault and adversary scenarios stay on the ABE protocols the
+/// hand-written experiments exercise).
+fn random_protocol(p: &Picker, allow_baselines: bool) -> ProtocolSpec {
+    let limit = if allow_baselines { 5 } else { 2 };
+    match p.pick("protocol", limit) {
+        0 => ProtocolSpec::AbeCalibrated {
+            a: *p.choose("a", &[0.5, 1.0, 2.0]),
+        },
+        1 => ProtocolSpec::Abe {
+            a0: *p.choose("a0", &[0.1, 0.25]),
+        },
+        2 => ProtocolSpec::ItaiRodeh,
+        3 => ProtocolSpec::ChangRoberts,
+        _ => ProtocolSpec::Peterson,
+    }
+}
+
+/// Fixed uni/bidi ring, or a `topo` axis over both.
+fn random_topology(p: &Picker, axes: &mut Vec<AxisSpec>) -> TopologySpec {
+    match p.pick("topology", 3) {
+        0 => TopologySpec::UniRing,
+        1 => TopologySpec::BidiRing,
+        _ => {
+            axes.push(AxisSpec {
+                name: "topo".to_string(),
+                values: AxisValues::Str(vec!["uni-ring".to_string(), "bidi-ring".to_string()]),
+            });
+            TopologySpec::Axis
+        }
+    }
+}
+
+fn random_delay(p: &Picker) -> DelaySpec {
+    match p.pick("delay", 5) {
+        0 => DelaySpec::Exponential {
+            mean: *p.choose("mean", &[0.5, 1.0, 2.0]),
+        },
+        1 => DelaySpec::Deterministic {
+            value: *p.choose("value", &[0.5, 1.0]),
+        },
+        2 => DelaySpec::Uniform { lo: 0.5, hi: 1.5 },
+        3 => DelaySpec::Pareto {
+            shape: *p.choose("shape", &[1.5, 2.5]),
+            mean: 1.0,
+        },
+        _ => DelaySpec::Weibull {
+            shape: *p.choose("shape", &[0.8, 1.0, 2.0]),
+            mean: 1.0,
+        },
+    }
+}
+
+/// Generates `count` scenarios from one campaign seed, each scenario
+/// seeded independently so corpora of different sizes share a prefix.
+pub fn corpus(count: u32, seed: u64) -> Vec<Scenario> {
+    let root = SeedStream::new(seed);
+    (0..count)
+        .map(|i| random_scenario(root.child_seed("fuzz-scenario", u64::from(i))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parse::parse;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(random_scenario(42), random_scenario(42));
+        assert_eq!(corpus(4, 7), corpus(4, 7));
+        // Corpora of different sizes share their common prefix.
+        assert_eq!(corpus(2, 7)[..], corpus(4, 7)[..2]);
+    }
+
+    #[test]
+    fn every_generated_scenario_compiles_and_round_trips() {
+        for scenario in corpus(64, 0xF00D) {
+            let text = scenario.print();
+            let reparsed = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(reparsed, scenario, "{text}");
+            compile(&scenario).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        }
+    }
+
+    #[test]
+    fn generator_covers_all_three_families() {
+        let scenarios = corpus(32, 1);
+        assert!(scenarios.iter().any(|s| s.fault.is_some()));
+        assert!(scenarios.iter().any(|s| s.adversary.is_some()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.fault.is_none() && s.adversary.is_none()));
+    }
+}

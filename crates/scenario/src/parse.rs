@@ -1,0 +1,656 @@
+//! The `.abes` text form: parser and canonical printer.
+//!
+//! The format is line-oriented. Each non-empty line is one directive;
+//! `#` starts a comment (full-line or trailing); blank lines are
+//! ignored. Directives may appear in any order, each at most once
+//! (except `axis`, once per axis name). The canonical printer
+//! ([`Scenario::print`]) emits directives in a fixed order and omits
+//! directives whose value equals the default, so `parse(print(s)) == s`
+//! for every scenario and `print(parse(t)) == t` for every canonical
+//! text — the properties the round-trip test suite checks.
+//!
+//! ```text
+//! scenario NAME
+//! protocol abe-calibrated a=F | abe a0=F | itai-rodeh | chang-roberts | peterson
+//! delay exp mean=F | det value=F | uniform lo=F hi=F
+//!       | pareto shape=F mean=F | weibull shape=F mean=F
+//! topology uni-ring | bidi-ring | @topo
+//! n U32                       # fixed ring size (or use an `n` axis)
+//! axis NAME V...              # NAME in {n, topo, churn, budget, strategy}
+//! seeds U64
+//! base-seed U64               # default 0
+//! max-events U64              # default 5000000
+//! fault churn events=(U32|@churn) horizon=F downtime=F
+//! adversary strategy=(NAME|@strategy) budget=(F|@budget)
+//!           burst-p=F pareto-shape=F
+//! filter AXIS=V only-at AXIS=V
+//! record election | classified | adversary
+//! expect completed | stalled | wrong-leader | mixed
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::model::{
+    AdversarySpec, AxisSpec, AxisValues, Bind, DelaySpec, Expectation, FaultSpec, FilterSpec,
+    ProtocolSpec, RecordMode, Scenario, ScenarioError, TopologySpec, DEFAULT_BURST_P,
+    DEFAULT_MAX_EVENTS, DEFAULT_PARETO_SHAPE,
+};
+
+fn syntax(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn set_once<T>(
+    slot: &mut Option<T>,
+    value: T,
+    line: usize,
+    directive: &str,
+) -> Result<(), ScenarioError> {
+    if slot.is_some() {
+        return Err(syntax(line, format!("duplicate `{directive}` directive")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Splits `key=value` tokens, preserving order.
+fn kv_pairs<'a>(toks: &[&'a str], line: usize) -> Result<Vec<(&'a str, &'a str)>, ScenarioError> {
+    toks.iter()
+        .map(|t| {
+            t.split_once('=')
+                .ok_or_else(|| syntax(line, format!("expected key=value, got `{t}`")))
+        })
+        .collect()
+}
+
+fn take<'a>(kv: &mut Vec<(&'a str, &'a str)>, key: &str) -> Option<&'a str> {
+    kv.iter()
+        .position(|(k, _)| *k == key)
+        .map(|i| kv.remove(i).1)
+}
+
+fn require<'a>(
+    kv: &mut Vec<(&'a str, &'a str)>,
+    key: &str,
+    field: &str,
+) -> Result<&'a str, ScenarioError> {
+    take(kv, key).ok_or(ScenarioError::Missing {
+        field: field.to_string(),
+    })
+}
+
+fn no_extra(kv: &[(&str, &str)], line: usize) -> Result<(), ScenarioError> {
+    match kv.first() {
+        Some((k, _)) => Err(syntax(line, format!("unexpected key `{k}`"))),
+        None => Ok(()),
+    }
+}
+
+fn parse_f64(tok: &str, field: &str) -> Result<f64, ScenarioError> {
+    tok.parse()
+        .map_err(|_| ScenarioError::field(field, format!("not a number: `{tok}`")))
+}
+
+fn parse_u32(tok: &str, field: &str) -> Result<u32, ScenarioError> {
+    tok.parse()
+        .map_err(|_| ScenarioError::field(field, format!("not an unsigned integer: `{tok}`")))
+}
+
+fn parse_u64(tok: &str, field: &str) -> Result<u64, ScenarioError> {
+    tok.parse()
+        .map_err(|_| ScenarioError::field(field, format!("not an unsigned integer: `{tok}`")))
+}
+
+/// Parses a value that may be an `@axis` binding instead of a literal.
+fn bind<T>(
+    tok: &str,
+    field: &str,
+    axis: &str,
+    lit: impl FnOnce(&str, &str) -> Result<T, ScenarioError>,
+) -> Result<Bind<T>, ScenarioError> {
+    match tok.strip_prefix('@') {
+        Some(a) if a == axis => Ok(Bind::Axis),
+        Some(a) => Err(ScenarioError::field(
+            field,
+            format!("can only bind `@{axis}` here, got `@{a}`"),
+        )),
+        None => lit(tok, field).map(Bind::Fixed),
+    }
+}
+
+/// Parses the `.abes` text form into a [`Scenario`].
+///
+/// Errors are structured: malformed lines yield
+/// [`ScenarioError::Syntax`] with the 1-based line number; bad values
+/// yield [`ScenarioError::Field`] naming the field; absent required
+/// directives yield [`ScenarioError::Missing`]. Semantic validation
+/// (axis/bind consistency, parameter ranges) is deferred to
+/// [`crate::compile()`] so the model stays plain data.
+pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+    let mut name: Option<String> = None;
+    let mut protocol: Option<ProtocolSpec> = None;
+    let mut delay: Option<DelaySpec> = None;
+    let mut topology: Option<TopologySpec> = None;
+    let mut n: Option<u32> = None;
+    let mut axes: Vec<AxisSpec> = Vec::new();
+    let mut seeds: Option<u64> = None;
+    let mut base_seed: Option<u64> = None;
+    let mut max_events: Option<u64> = None;
+    let mut fault: Option<FaultSpec> = None;
+    let mut adversary: Option<AdversarySpec> = None;
+    let mut filter: Option<FilterSpec> = None;
+    let mut record: Option<RecordMode> = None;
+    let mut expect: Option<Expectation> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let (dir, rest) = (toks[0], &toks[1..]);
+        match dir {
+            "scenario" => {
+                let [tok] = rest else {
+                    return Err(syntax(lineno, "expected `scenario NAME`"));
+                };
+                if tok.is_empty()
+                    || !tok
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                {
+                    return Err(ScenarioError::field(
+                        "scenario",
+                        format!("name must be alphanumeric/-/_/. , got `{tok}`"),
+                    ));
+                }
+                set_once(&mut name, tok.to_string(), lineno, dir)?;
+            }
+            "protocol" => {
+                let Some((&kind, params)) = rest.split_first() else {
+                    return Err(syntax(lineno, "expected `protocol NAME [key=value...]`"));
+                };
+                let mut kv = kv_pairs(params, lineno)?;
+                let spec = match kind {
+                    "abe-calibrated" => ProtocolSpec::AbeCalibrated {
+                        a: parse_f64(require(&mut kv, "a", "protocol.a")?, "protocol.a")?,
+                    },
+                    "abe" => ProtocolSpec::Abe {
+                        a0: parse_f64(require(&mut kv, "a0", "protocol.a0")?, "protocol.a0")?,
+                    },
+                    "itai-rodeh" => ProtocolSpec::ItaiRodeh,
+                    "chang-roberts" => ProtocolSpec::ChangRoberts,
+                    "peterson" => ProtocolSpec::Peterson,
+                    other => {
+                        return Err(syntax(lineno, format!("unknown protocol `{other}`")));
+                    }
+                };
+                no_extra(&kv, lineno)?;
+                set_once(&mut protocol, spec, lineno, dir)?;
+            }
+            "delay" => {
+                let Some((&kind, params)) = rest.split_first() else {
+                    return Err(syntax(lineno, "expected `delay MODEL key=value...`"));
+                };
+                let mut kv = kv_pairs(params, lineno)?;
+                let spec = match kind {
+                    "exp" => DelaySpec::Exponential {
+                        mean: parse_f64(require(&mut kv, "mean", "delay.mean")?, "delay.mean")?,
+                    },
+                    "det" => DelaySpec::Deterministic {
+                        value: parse_f64(require(&mut kv, "value", "delay.value")?, "delay.value")?,
+                    },
+                    "uniform" => DelaySpec::Uniform {
+                        lo: parse_f64(require(&mut kv, "lo", "delay.lo")?, "delay.lo")?,
+                        hi: parse_f64(require(&mut kv, "hi", "delay.hi")?, "delay.hi")?,
+                    },
+                    "pareto" => DelaySpec::Pareto {
+                        shape: parse_f64(require(&mut kv, "shape", "delay.shape")?, "delay.shape")?,
+                        mean: parse_f64(require(&mut kv, "mean", "delay.mean")?, "delay.mean")?,
+                    },
+                    "weibull" => DelaySpec::Weibull {
+                        shape: parse_f64(require(&mut kv, "shape", "delay.shape")?, "delay.shape")?,
+                        mean: parse_f64(require(&mut kv, "mean", "delay.mean")?, "delay.mean")?,
+                    },
+                    other => {
+                        return Err(syntax(lineno, format!("unknown delay model `{other}`")));
+                    }
+                };
+                no_extra(&kv, lineno)?;
+                set_once(&mut delay, spec, lineno, dir)?;
+            }
+            "topology" => {
+                let [tok] = rest else {
+                    return Err(syntax(
+                        lineno,
+                        "expected `topology uni-ring|bidi-ring|@topo`",
+                    ));
+                };
+                let spec = match *tok {
+                    "uni-ring" => TopologySpec::UniRing,
+                    "bidi-ring" => TopologySpec::BidiRing,
+                    "@topo" => TopologySpec::Axis,
+                    other => {
+                        return Err(syntax(lineno, format!("unknown topology `{other}`")));
+                    }
+                };
+                set_once(&mut topology, spec, lineno, dir)?;
+            }
+            "n" => {
+                let [tok] = rest else {
+                    return Err(syntax(lineno, "expected `n SIZE`"));
+                };
+                set_once(&mut n, parse_u32(tok, "n")?, lineno, dir)?;
+            }
+            "axis" => {
+                let Some((&axis_name, vals)) = rest.split_first() else {
+                    return Err(syntax(lineno, "expected `axis NAME VALUES...`"));
+                };
+                if axes.iter().any(|a| a.name == axis_name) {
+                    return Err(syntax(lineno, format!("duplicate axis `{axis_name}`")));
+                }
+                let field = format!("axis.{axis_name}");
+                let values = match axis_name {
+                    "n" | "churn" => AxisValues::U32(
+                        vals.iter()
+                            .map(|v| parse_u32(v, &field))
+                            .collect::<Result<_, _>>()?,
+                    ),
+                    "budget" => AxisValues::F64(
+                        vals.iter()
+                            .map(|v| parse_f64(v, &field))
+                            .collect::<Result<_, _>>()?,
+                    ),
+                    "topo" | "strategy" => {
+                        AxisValues::Str(vals.iter().map(|s| s.to_string()).collect())
+                    }
+                    other => {
+                        return Err(syntax(
+                            lineno,
+                            format!(
+                                "unknown axis `{other}` (known: n, topo, churn, budget, strategy)"
+                            ),
+                        ));
+                    }
+                };
+                axes.push(AxisSpec {
+                    name: axis_name.to_string(),
+                    values,
+                });
+            }
+            "seeds" => {
+                let [tok] = rest else {
+                    return Err(syntax(lineno, "expected `seeds COUNT`"));
+                };
+                set_once(&mut seeds, parse_u64(tok, "seeds")?, lineno, dir)?;
+            }
+            "base-seed" => {
+                let [tok] = rest else {
+                    return Err(syntax(lineno, "expected `base-seed SEED`"));
+                };
+                set_once(&mut base_seed, parse_u64(tok, "base-seed")?, lineno, dir)?;
+            }
+            "max-events" => {
+                let [tok] = rest else {
+                    return Err(syntax(lineno, "expected `max-events CAP`"));
+                };
+                set_once(&mut max_events, parse_u64(tok, "max-events")?, lineno, dir)?;
+            }
+            "fault" => {
+                let Some((&kind, params)) = rest.split_first() else {
+                    return Err(syntax(lineno, "expected `fault churn key=value...`"));
+                };
+                if kind != "churn" {
+                    return Err(syntax(lineno, format!("unknown fault kind `{kind}`")));
+                }
+                let mut kv = kv_pairs(params, lineno)?;
+                let spec = FaultSpec {
+                    events: bind(
+                        require(&mut kv, "events", "fault.events")?,
+                        "fault.events",
+                        "churn",
+                        parse_u32,
+                    )?,
+                    horizon: parse_f64(
+                        require(&mut kv, "horizon", "fault.horizon")?,
+                        "fault.horizon",
+                    )?,
+                    downtime: parse_f64(
+                        require(&mut kv, "downtime", "fault.downtime")?,
+                        "fault.downtime",
+                    )?,
+                };
+                no_extra(&kv, lineno)?;
+                set_once(&mut fault, spec, lineno, dir)?;
+            }
+            "adversary" => {
+                let mut kv = kv_pairs(rest, lineno)?;
+                let spec = AdversarySpec {
+                    strategy: bind(
+                        require(&mut kv, "strategy", "adversary.strategy")?,
+                        "adversary.strategy",
+                        "strategy",
+                        |tok, _| Ok(tok.to_string()),
+                    )?,
+                    budget: bind(
+                        require(&mut kv, "budget", "adversary.budget")?,
+                        "adversary.budget",
+                        "budget",
+                        parse_f64,
+                    )?,
+                    burst_p: match take(&mut kv, "burst-p") {
+                        Some(tok) => parse_f64(tok, "adversary.burst-p")?,
+                        None => DEFAULT_BURST_P,
+                    },
+                    pareto_shape: match take(&mut kv, "pareto-shape") {
+                        Some(tok) => parse_f64(tok, "adversary.pareto-shape")?,
+                        None => DEFAULT_PARETO_SHAPE,
+                    },
+                };
+                no_extra(&kv, lineno)?;
+                set_once(&mut adversary, spec, lineno, dir)?;
+            }
+            "filter" => {
+                let [restrict, only_at, at] = rest else {
+                    return Err(syntax(lineno, "expected `filter AXIS=V only-at AXIS=V`"));
+                };
+                if *only_at != "only-at" {
+                    return Err(syntax(lineno, "expected `filter AXIS=V only-at AXIS=V`"));
+                }
+                let split = |tok: &str| -> Result<(String, String), ScenarioError> {
+                    tok.split_once('=')
+                        .map(|(a, v)| (a.to_string(), v.to_string()))
+                        .ok_or_else(|| syntax(lineno, format!("expected AXIS=VALUE, got `{tok}`")))
+                };
+                let (axis, value) = split(restrict)?;
+                let (only_axis, only_value) = split(at)?;
+                set_once(
+                    &mut filter,
+                    FilterSpec {
+                        axis,
+                        value,
+                        only_axis,
+                        only_value,
+                    },
+                    lineno,
+                    dir,
+                )?;
+            }
+            "record" => {
+                let [tok] = rest else {
+                    return Err(syntax(lineno, "expected `record MODE`"));
+                };
+                let mode = match *tok {
+                    "election" => RecordMode::Election,
+                    "classified" => RecordMode::Classified,
+                    "adversary" => RecordMode::Adversary,
+                    other => {
+                        return Err(syntax(lineno, format!("unknown record mode `{other}`")));
+                    }
+                };
+                set_once(&mut record, mode, lineno, dir)?;
+            }
+            "expect" => {
+                let [tok] = rest else {
+                    return Err(syntax(lineno, "expected `expect CLASS`"));
+                };
+                let e = Expectation::from_name(tok)
+                    .ok_or_else(|| syntax(lineno, format!("unknown expectation `{tok}`")))?;
+                set_once(&mut expect, e, lineno, dir)?;
+            }
+            other => {
+                return Err(syntax(lineno, format!("unknown directive `{other}`")));
+            }
+        }
+    }
+
+    let missing = |field: &str| ScenarioError::Missing {
+        field: field.to_string(),
+    };
+    Ok(Scenario {
+        name: name.ok_or_else(|| missing("scenario"))?,
+        protocol: protocol.ok_or_else(|| missing("protocol"))?,
+        delay: delay.ok_or_else(|| missing("delay"))?,
+        topology: topology.ok_or_else(|| missing("topology"))?,
+        n,
+        axes,
+        seeds: seeds.ok_or_else(|| missing("seeds"))?,
+        base_seed: base_seed.unwrap_or(0),
+        max_events: max_events.unwrap_or(DEFAULT_MAX_EVENTS),
+        fault,
+        adversary,
+        filter,
+        record: record.ok_or_else(|| missing("record"))?,
+        expect: expect.ok_or_else(|| missing("expect"))?,
+    })
+}
+
+fn bind_str<T: std::fmt::Display>(b: &Bind<T>, axis: &str) -> String {
+    match b {
+        Bind::Fixed(v) => v.to_string(),
+        Bind::Axis => format!("@{axis}"),
+    }
+}
+
+impl Scenario {
+    /// Renders the canonical `.abes` text form.
+    ///
+    /// Directives appear in a fixed order; `base-seed` and `max-events`
+    /// are omitted at their defaults, and adversary defaults (`burst-p`,
+    /// `pareto-shape`) are always spelled out. The output ends with a
+    /// newline and satisfies `parse(s.print()) == Ok(s)`.
+    pub fn print(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "scenario {}", self.name);
+        let _ = match &self.protocol {
+            ProtocolSpec::AbeCalibrated { a } => writeln!(out, "protocol abe-calibrated a={a}"),
+            ProtocolSpec::Abe { a0 } => writeln!(out, "protocol abe a0={a0}"),
+            ProtocolSpec::ItaiRodeh => writeln!(out, "protocol itai-rodeh"),
+            ProtocolSpec::ChangRoberts => writeln!(out, "protocol chang-roberts"),
+            ProtocolSpec::Peterson => writeln!(out, "protocol peterson"),
+        };
+        let _ = match &self.delay {
+            DelaySpec::Exponential { mean } => writeln!(out, "delay exp mean={mean}"),
+            DelaySpec::Deterministic { value } => writeln!(out, "delay det value={value}"),
+            DelaySpec::Uniform { lo, hi } => writeln!(out, "delay uniform lo={lo} hi={hi}"),
+            DelaySpec::Pareto { shape, mean } => {
+                writeln!(out, "delay pareto shape={shape} mean={mean}")
+            }
+            DelaySpec::Weibull { shape, mean } => {
+                writeln!(out, "delay weibull shape={shape} mean={mean}")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "topology {}",
+            match self.topology {
+                TopologySpec::UniRing => "uni-ring",
+                TopologySpec::BidiRing => "bidi-ring",
+                TopologySpec::Axis => "@topo",
+            }
+        );
+        if let Some(n) = self.n {
+            let _ = writeln!(out, "n {n}");
+        }
+        for axis in &self.axes {
+            let rendered: Vec<String> = match &axis.values {
+                AxisValues::U32(v) => v.iter().map(|x| x.to_string()).collect(),
+                AxisValues::F64(v) => v.iter().map(|x| x.to_string()).collect(),
+                AxisValues::Str(v) => v.clone(),
+            };
+            if rendered.is_empty() {
+                let _ = writeln!(out, "axis {}", axis.name);
+            } else {
+                let _ = writeln!(out, "axis {} {}", axis.name, rendered.join(" "));
+            }
+        }
+        let _ = writeln!(out, "seeds {}", self.seeds);
+        if self.base_seed != 0 {
+            let _ = writeln!(out, "base-seed {}", self.base_seed);
+        }
+        if self.max_events != DEFAULT_MAX_EVENTS {
+            let _ = writeln!(out, "max-events {}", self.max_events);
+        }
+        if let Some(fault) = &self.fault {
+            let _ = writeln!(
+                out,
+                "fault churn events={} horizon={} downtime={}",
+                bind_str(&fault.events, "churn"),
+                fault.horizon,
+                fault.downtime
+            );
+        }
+        if let Some(adv) = &self.adversary {
+            let _ = writeln!(
+                out,
+                "adversary strategy={} budget={} burst-p={} pareto-shape={}",
+                bind_str(&adv.strategy, "strategy"),
+                bind_str(&adv.budget, "budget"),
+                adv.burst_p,
+                adv.pareto_shape
+            );
+        }
+        if let Some(filter) = &self.filter {
+            let _ = writeln!(
+                out,
+                "filter {}={} only-at {}={}",
+                filter.axis, filter.value, filter.only_axis, filter.only_value
+            );
+        }
+        let _ = writeln!(out, "record {}", self.record.as_str());
+        let _ = writeln!(out, "expect {}", self.expect.as_str());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OutcomeClass;
+
+    const E17_STYLE: &str = "\
+scenario e17_adversary
+protocol abe-calibrated a=1
+delay exp mean=1
+topology uni-ring
+n 16
+axis strategy none swap burst reorder adaptive
+axis budget 1 4
+seeds 5
+adversary strategy=@strategy budget=@budget burst-p=0.05 pareto-shape=2.5
+filter strategy=none only-at budget=1
+record adversary
+expect completed
+";
+
+    const E14_STYLE: &str = "\
+scenario e14_crash_churn
+protocol abe-calibrated a=1
+delay exp mean=1
+topology @topo
+n 16
+axis topo uni-ring bidi-ring
+axis churn 0 2
+seeds 5
+max-events 100000
+fault churn events=@churn horizon=32 downtime=4
+record classified
+expect mixed
+";
+
+    #[test]
+    fn canonical_texts_round_trip() {
+        for text in [E17_STYLE, E14_STYLE] {
+            let s = parse(text).unwrap();
+            assert_eq!(s.print(), text);
+            assert_eq!(parse(&s.print()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn parses_e14_structure() {
+        let s = parse(E14_STYLE).unwrap();
+        assert_eq!(s.topology, TopologySpec::Axis);
+        assert_eq!(s.max_events, 100_000);
+        let fault = s.fault.unwrap();
+        assert_eq!(fault.events, Bind::Axis);
+        assert_eq!(fault.horizon, 32.0);
+        assert_eq!(s.expect, Expectation::Mixed);
+        assert_eq!(s.record, RecordMode::Classified);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header comment\n\nscenario c  # trailing\nprotocol peterson\n\
+                    delay det value=1\ntopology uni-ring\nn 4\nseeds 1\n\
+                    record election\nexpect completed\n";
+        let s = parse(text).unwrap();
+        assert_eq!(s.name, "c");
+        assert_eq!(s.protocol, ProtocolSpec::Peterson);
+        assert_eq!(s.expect, Expectation::Class(OutcomeClass::Completed));
+    }
+
+    #[test]
+    fn adversary_defaults_fill_in() {
+        let text = "scenario a\nprotocol abe a0=2\ndelay exp mean=1\ntopology uni-ring\n\
+                    n 8\nseeds 1\nadversary strategy=swap budget=2\n\
+                    record adversary\nexpect completed\n";
+        let adv = parse(text).unwrap().adversary.unwrap();
+        assert_eq!(adv.strategy, Bind::Fixed("swap".to_string()));
+        assert_eq!(adv.budget, Bind::Fixed(2.0));
+        assert_eq!(adv.burst_p, 0.05);
+        assert_eq!(adv.pareto_shape, 2.5);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse("scenario a\nfrotz 1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::Syntax {
+                line: 2,
+                message: "unknown directive `frotz`".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_directives_are_rejected() {
+        let err = parse("scenario a\nscenario b\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::Syntax { line: 2, .. }));
+        let err = parse("axis n 2\naxis n 4\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn missing_directives_name_the_field() {
+        let err = parse("scenario a\n").unwrap_err();
+        assert_eq!(err.field_name(), Some("protocol"));
+    }
+
+    #[test]
+    fn bad_values_name_the_field() {
+        let err = parse("delay exp mean=fast\n").unwrap_err();
+        assert_eq!(err.field_name(), Some("delay.mean"));
+        let err = parse("axis budget 1 x\n").unwrap_err();
+        assert_eq!(err.field_name(), Some("axis.budget"));
+        let err = parse("fault churn events=@budget horizon=1 downtime=1\n").unwrap_err();
+        assert_eq!(err.field_name(), Some("fault.events"));
+    }
+
+    #[test]
+    fn unknown_axis_is_a_syntax_error() {
+        let err = parse("axis flux 1 2\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn unexpected_keys_are_rejected() {
+        let err = parse("delay exp mean=1 skew=2\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::Syntax { .. }));
+    }
+}

@@ -1,0 +1,95 @@
+//! Fuzz smoke: the seeded random-scenario generator, run end to end.
+//!
+//! 32 generated scenarios are compiled and executed, and every one is
+//! held to the three standing oracles:
+//!
+//! 1. **Determinism** — the campaign document (and therefore the full
+//!    sweep JSON) is byte-identical at 1 worker and at 4 workers.
+//! 2. **Budget audit** — wherever an `adv_violations` counter appears,
+//!    it is zero: every adversarial run was a legal ABE execution.
+//! 3. **Outcome class** — each cell's classified outcome is consistent
+//!    with the scenario's declared `expect` line (wrong leaders are
+//!    violations everywhere; stalls only where `expect mixed`).
+//!
+//! Every scenario is accounted for: compile failures and run failures
+//! are test failures, not silent skips, and `cells_checked` must equal
+//! the sweep's actual cell count so no cell can fall out of the audit.
+//!
+//! The seed is fixed so CI failures reproduce locally with
+//! `cargo test -p abe-scenario --test fuzz_smoke`.
+
+use abe_scenario::campaign::{check_oracles, document};
+use abe_scenario::{compile, fuzz};
+
+/// Matches the `--fuzz-seed` default wired into CI.
+const SEED: u64 = 0xabe5_0000_2026_0808;
+const COUNT: u32 = 32;
+
+#[test]
+fn thirty_two_random_scenarios_satisfy_every_oracle() {
+    let corpus = fuzz::corpus(COUNT, SEED);
+    assert_eq!(corpus.len(), COUNT as usize, "generator dropped scenarios");
+
+    let mut failures = Vec::new();
+    for scenario in &corpus {
+        let name = scenario.name.clone();
+        let compiled = match compile(scenario) {
+            Ok(c) => c,
+            Err(e) => {
+                failures.push(format!("{name}: compile failed: {e}"));
+                continue;
+            }
+        };
+
+        // Oracle 1: determinism across worker counts.
+        let single = match compiled.run(1) {
+            Ok(o) => o,
+            Err(e) => {
+                failures.push(format!("{name}: run(1) failed: {e}"));
+                continue;
+            }
+        };
+        let multi = match compiled.run(4) {
+            Ok(o) => o,
+            Err(e) => {
+                failures.push(format!("{name}: run(4) failed: {e}"));
+                continue;
+            }
+        };
+        let doc = document(scenario, &single);
+        if doc != document(scenario, &multi) {
+            failures.push(format!("{name}: document differs between 1 and 4 workers"));
+            continue;
+        }
+
+        // Oracles 2 and 3: budget audit + outcome-class consistency.
+        let report = check_oracles(scenario, &single);
+        assert_eq!(
+            report.cells_checked,
+            single.cells.len(),
+            "{name}: oracle pass skipped cells"
+        );
+        for violation in &report.violations {
+            failures.push(format!("{name}: {violation}"));
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "{} of {COUNT} fuzz scenarios failed:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
+/// The corpus itself is a pure function of (count, seed): re-deriving
+/// it must reproduce the same scenarios, so a CI failure names exactly
+/// the scenario a local rerun will regenerate.
+#[test]
+fn corpus_is_reproducible_from_the_fixed_seed() {
+    let a = fuzz::corpus(8, SEED);
+    let b = fuzz::corpus(8, SEED);
+    assert_eq!(a, b);
+    let prefix = fuzz::corpus(4, SEED);
+    assert_eq!(&a[..4], &prefix[..], "corpus is not prefix-stable");
+}

@@ -1,0 +1,49 @@
+//! JSON string primitives shared by everything that renders sweep data.
+//!
+//! No serde is available in the build container, so documents are rendered
+//! by hand; these helpers own the escaping rules so every producer (the
+//! engine's [`metrics_json`](crate::SweepOutcome::metrics_json), the
+//! `abe-bench` sweep-v1 documents, the `abe-scenario` campaign goldens)
+//! escapes identically — a prerequisite for byte-level golden diffs.
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a string as a quoted JSON string literal.
+pub fn json_str(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\n\t\r"), "x\\n\\t\\r");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("αβ"), "αβ");
+    }
+
+    #[test]
+    fn json_str_quotes() {
+        assert_eq!(json_str("δ=1"), "\"δ=1\"");
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+    }
+}

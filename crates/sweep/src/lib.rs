@@ -1,4 +1,4 @@
-//! The parallel deterministic sweep engine.
+//! # abe-sweep — the parallel deterministic sweep engine
 //!
 //! Every experiment in this crate is a grid of independent simulation
 //! *cells*: the cartesian product of a few configuration axes (algorithm,
@@ -19,10 +19,15 @@
 //!   renders a byte-stable JSON fragment via
 //!   [`SweepOutcome::metrics_json`].
 //!
+//! The engine is deliberately experiment-agnostic: `abe-bench` builds its
+//! hand-written experiments on it, and `abe-scenario` lowers declarative
+//! `.abes` scenario files onto the very same [`SweepSpec`]/[`run_sweep`]
+//! pair — both produce byte-identical metric blocks at any worker count.
+//!
 //! ## Example
 //!
 //! ```
-//! use abe_bench::sweep::{run_sweep, CellMetrics, SweepSpec};
+//! use abe_sweep::{run_sweep, CellMetrics, SweepSpec};
 //!
 //! let spec = SweepSpec::new().axis_u32("n", &[8, 16]).seeds(3);
 //! let outcome = run_sweep(&spec, 4, |cell| {
@@ -34,6 +39,9 @@
 //! assert_eq!(groups.len(), 2);
 //! assert_eq!(groups[0].mean("double"), 16.0);
 //! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod json;
 

@@ -31,6 +31,7 @@
 //! | [`stats`] | `abe-stats` | online moments, complexity-class fitting, tables |
 //! | [`wave`] | `abe-wave` | flooding broadcast and echo/PIF convergecast waves |
 //! | [`live`] | `abe-live` | thread-per-node live runtime (crossbeam channels, wall-clock delays) |
+//! | [`scenario`] | `abe-scenario` | `.abes` scenario language: parser, compiler, golden-campaign runner, fuzz generator |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use abe_adversary as adversary;
 pub use abe_core as core;
 pub use abe_election as election;
 pub use abe_live as live;
+pub use abe_scenario as scenario;
 pub use abe_sim as sim;
 pub use abe_stats as stats;
 pub use abe_sync as sync;
