@@ -6,6 +6,7 @@
 //! abe-experiments --smoke         # minimal grids (CI perf gate)
 //! abe-experiments e1 e4 e6        # a subset
 //! abe-experiments --threads 8     # sweep-engine worker count
+//! abe-experiments --shards 2      # parallel kernel shards inside each run
 //! abe-experiments --json PATH     # machine-readable output (see below)
 //! abe-experiments --list          # show the registry
 //! abe-experiments --out FILE      # additionally write markdown to FILE
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
     let mut csv_dir: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut threads: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut shards: u32 = 1;
     let mut list_only = false;
 
     let mut iter = args.into_iter();
@@ -63,6 +65,13 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => threads = n,
                 _ => {
                     eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match iter.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("--shards requires a positive integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -131,12 +140,13 @@ fn main() -> ExitCode {
         }
     }
 
-    let ctx = RunCtx::new(scale, threads);
+    let mut ctx = RunCtx::new(scale, threads);
+    ctx.shards = shards;
     let mut rendered = String::new();
     for e in to_run {
         let started = Instant::now();
         eprintln!(
-            "running {} ({}) [{} scale, {threads} threads] ...",
+            "running {} ({}) [{} scale, {threads} threads, {shards} shards] ...",
             e.id,
             e.about,
             scale.name()
@@ -206,6 +216,7 @@ fn campaign_main(args: &[String]) -> ExitCode {
         scenarios_dir: PathBuf::from("scenarios"),
         goldens_dir: PathBuf::from("scenarios/goldens"),
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        shards: 1,
         bless: false,
     };
     let mut fuzz_count: u32 = 0;
@@ -235,6 +246,13 @@ fn campaign_main(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--shards" => match iter.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => opts.shards = n,
+                _ => {
+                    eprintln!("--shards requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--fuzz" => match iter.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) => fuzz_count = n,
                 None => {
@@ -253,9 +271,11 @@ fn campaign_main(args: &[String]) -> ExitCode {
                 println!(
                     "abe-experiments campaign — run the declarative scenario corpus\n\n\
                      USAGE:\n  abe-experiments campaign [--scenarios DIR] [--goldens DIR]\n\
-                     [--threads N] [--bless] [--fuzz N] [--fuzz-seed S]\n\n\
+                     [--threads N] [--shards N] [--bless] [--fuzz N] [--fuzz-seed S]\n\n\
                      --scenarios DIR  corpus of .abes files (default: scenarios)\n\
                      --goldens DIR    committed goldens (default: scenarios/goldens)\n\
+                     --shards N       parallel-kernel shards per cell run (documents\n\
+                                      are byte-identical for any N)\n\
                      --bless          rewrite goldens from this run\n\
                      --fuzz N         also run N seeded random scenarios through the\n\
                                       outcome + determinism oracles\n\
@@ -274,10 +294,11 @@ fn campaign_main(args: &[String]) -> ExitCode {
     }
 
     eprintln!(
-        "campaign: corpus {} vs goldens {} [{} threads]{}",
+        "campaign: corpus {} vs goldens {} [{} threads, {} shards]{}",
         opts.scenarios_dir.display(),
         opts.goldens_dir.display(),
         opts.threads,
+        opts.shards,
         if opts.bless { " (blessing)" } else { "" }
     );
     let report = match abe_scenario::run_campaign(&opts) {
@@ -373,6 +394,9 @@ fn print_help() {
          --smoke     minimal grids (CI perf gate)\n\
          --threads N sweep-engine worker count (default: all cores);\n\
                      results are bit-identical for any N\n\
+         --shards N  deterministic parallel kernel shards per simulation\n\
+                     (default 1 = sequential); results are bit-identical\n\
+                     for any N\n\
          --json PATH one self-describing JSON document per experiment\n\
                      (single .json file for one experiment, else a directory)\n\n\
          SUBCOMMANDS:\n  campaign  run the declarative scenario corpus against its goldens\n\

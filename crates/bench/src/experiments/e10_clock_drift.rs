@@ -43,7 +43,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let outcome = ctx.sweep(spec, |cell| {
         let (lo, hi, mode) = SPECS[cell.idx("clocks")];
         let clock_spec = ClockSpec::new(lo, hi, mode).expect("valid bounds");
-        let o = run_abe_calibrated(&ring(n, DELTA, cell.seed()).clocks(clock_spec), A);
+        let o = run_abe_calibrated(&ring(ctx, n, DELTA, cell.seed()).clocks(clock_spec), A);
         CellMetrics::new().with_election(&o)
     });
 

@@ -52,7 +52,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let outcome = ctx.sweep(spec, |cell| {
         let n = cell.u32("n");
         if cell.idx("algorithm") == 0 {
-            let o = run_abe_calibrated_local(n, cell.seed());
+            let o = run_abe_calibrated_local(ctx, n, cell.seed());
             CellMetrics::new().with_election(&o)
         } else {
             let (messages, elected) = run_ir_over_synchronizer(n, cell.seed());
@@ -110,8 +110,12 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
     }
 }
 
-fn run_abe_calibrated_local(n: u32, seed: u64) -> abe_election::ElectionOutcome {
-    abe_election::run_abe_calibrated(&ring(n, DELTA, seed), A)
+fn run_abe_calibrated_local(
+    ctx: &crate::RunCtx,
+    n: u32,
+    seed: u64,
+) -> abe_election::ElectionOutcome {
+    abe_election::run_abe_calibrated(&ring(ctx, n, DELTA, seed), A)
 }
 
 #[cfg(test)]
@@ -122,7 +126,7 @@ mod tests {
     fn synchronised_ir_is_much_more_expensive() {
         let (messages, elected) = run_ir_over_synchronizer(16, 3);
         assert!(elected);
-        let native = run_abe_calibrated_local(16, 3);
+        let native = run_abe_calibrated_local(&crate::RunCtx::quick(), 16, 3);
         assert!(
             messages > 3 * native.messages,
             "sync {messages} vs native {}",

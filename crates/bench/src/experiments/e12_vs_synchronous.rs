@@ -48,7 +48,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
                 .metric("messages", report.messages as f64)
                 .metric("rounds", report.rounds as f64)
         } else {
-            let o = abe_election::run_abe_calibrated(&ring(n, DELTA, cell.seed()), A);
+            let o = abe_election::run_abe_calibrated(&ring(ctx, n, DELTA, cell.seed()), A);
             CellMetrics::new().with_election(&o)
         }
     });

@@ -62,7 +62,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
             DOWNTIME * DELTA,
             SeedStream::new(cell.seed()).child_seed("churn-plan", 0),
         );
-        let cfg = ring(n, DELTA, cell.seed())
+        let cfg = ring(ctx, n, DELTA, cell.seed())
             .kind(kind)
             .fault(plan)
             .max_events(MAX_EVENTS);

@@ -48,7 +48,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
         });
     let outcome = ctx.sweep(spec, |cell| {
         let n = cell.u32("n");
-        let cfg = ring(n, DELTA, cell.seed()).max_events(u64::from(n).saturating_mul(256));
+        let cfg = ring(ctx, n, DELTA, cell.seed()).max_events(u64::from(n).saturating_mul(256));
         let o = run_abe_calibrated(&cfg, A);
         CellMetrics::new()
             .metric("msgs_per_n", o.messages as f64 / f64::from(n))

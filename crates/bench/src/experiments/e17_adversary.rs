@@ -80,7 +80,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
     let outcome = ctx.sweep(spec, |cell| {
         let adversarial = cell.idx("strategy") != 0;
         let plan = plan_for(STRATEGIES[cell.idx("strategy")], cell.f64("budget"));
-        let cfg = ring(n, DELTA, cell.seed()).adversary(plan);
+        let cfg = ring(ctx, n, DELTA, cell.seed()).adversary(plan);
         let o = run_abe_calibrated(&cfg, A);
         let metrics = CellMetrics::new().with_election(&o);
         if adversarial {

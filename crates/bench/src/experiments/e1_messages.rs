@@ -30,7 +30,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
 
     let spec = SweepSpec::new().axis_u32("n", sizes).seeds(reps);
     let outcome = ctx.sweep(spec, |cell| {
-        let o = run_abe_calibrated(&ring(cell.u32("n"), DELTA, cell.seed()), A);
+        let o = run_abe_calibrated(&ring(ctx, cell.u32("n"), DELTA, cell.seed()), A);
         CellMetrics::new()
             .metric("knockouts", o.report.counter("knockouts") as f64)
             .with_election(&o)
@@ -109,7 +109,10 @@ mod tests {
             .iter()
             .map(|&n| {
                 let messages: Online = (0..20)
-                    .map(|seed| run_abe_calibrated(&ring(n, DELTA, seed), A).messages as f64)
+                    .map(|seed| {
+                        run_abe_calibrated(&ring(&RunCtx::quick(), n, DELTA, seed), A).messages
+                            as f64
+                    })
                     .collect();
                 (f64::from(n), messages.mean())
             })

@@ -26,7 +26,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
 
     let spec = SweepSpec::new().axis_u32("n", sizes).seeds(reps);
     let outcome = ctx.sweep(spec, |cell| {
-        let o = run_abe_calibrated(&ring(cell.u32("n"), DELTA, cell.seed()), A);
+        let o = run_abe_calibrated(&ring(ctx, cell.u32("n"), DELTA, cell.seed()), A);
         CellMetrics::new().with_election(&o)
     });
 

@@ -71,13 +71,16 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
         let n = cell.u32("n");
         let ci = cell.idx("config");
         if ci < BUDGETS.len() {
-            let o = run_abe_calibrated(&ring(n, DELTA, cell.seed()), BUDGETS[ci]);
+            let o = run_abe_calibrated(&ring(ctx, n, DELTA, cell.seed()), BUDGETS[ci]);
             CellMetrics::new()
                 .metric("purges", o.report.counter("purges") as f64)
                 .metric("activations", o.report.counter("activations") as f64)
                 .with_election(&o)
         } else {
-            let o = run_abe(&ring(n, DELTA, cell.seed()), CONSTS[ci - BUDGETS.len()]);
+            let o = run_abe(
+                &ring(ctx, n, DELTA, cell.seed()),
+                CONSTS[ci - BUDGETS.len()],
+            );
             CellMetrics::new().with_election(&o)
         }
     });

@@ -35,7 +35,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
         .axis_u32("n", sizes)
         .seeds(reps);
     let outcome = ctx.sweep(spec, |cell| {
-        let cfg = ring(cell.u32("n"), DELTA, cell.seed());
+        let cfg = ring(ctx, cell.u32("n"), DELTA, cell.seed());
         let o = match cell.idx("algorithm") {
             0 => run_abe_calibrated(&cfg, A),
             1 => run_itai_rodeh(&cfg),

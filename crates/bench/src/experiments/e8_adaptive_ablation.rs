@@ -36,7 +36,7 @@ pub fn run(ctx: &RunCtx) -> ExperimentReport {
         .seeds(reps);
     let outcome = ctx.sweep(spec, |cell| {
         let n = cell.u32("n");
-        let cfg = ring(n, DELTA, cell.seed());
+        let cfg = ring(ctx, n, DELTA, cell.seed());
         let o = if cell.idx("wakeup") == 0 {
             run_abe_calibrated(&cfg, A)
         } else {

@@ -28,15 +28,19 @@ use abe_election::RingConfig;
 use abe_stats::Online;
 
 use crate::sweep::Group;
+use crate::RunCtx;
 
 /// Standard ring configuration used across election experiments:
-/// exponential delay with mean `delta`.
-pub(crate) fn ring(n: u32, delta: f64, seed: u64) -> RingConfig {
+/// exponential delay with mean `delta`. Carries the context's shard count
+/// so `--shards N` applies to every election sweep uniformly (reports are
+/// shard-invariant; see `abe_core::shard`).
+pub(crate) fn ring(ctx: &RunCtx, n: u32, delta: f64, seed: u64) -> RingConfig {
     RingConfig::new(n)
         .delay(std::sync::Arc::new(
             abe_core::delay::Exponential::from_mean(delta).expect("valid delta"),
         ))
         .seed(seed)
+        .shards(ctx.shards)
 }
 
 /// Pulls the standard election aggregates out of one sweep group,

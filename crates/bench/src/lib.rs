@@ -86,6 +86,11 @@ pub struct RunCtx {
     pub threads: usize,
     /// Base seed mixed into every cell's derived seed.
     pub base_seed: u64,
+    /// Shards per simulation run (deterministic parallel kernel; 1 =
+    /// sequential). Orthogonal to `threads`: `threads` parallelises
+    /// *across* sweep cells, `shards` parallelises *inside* each run.
+    /// Reports are identical at any setting (see `abe_core::shard`).
+    pub shards: u32,
 }
 
 impl RunCtx {
@@ -95,6 +100,7 @@ impl RunCtx {
             scale,
             threads,
             base_seed: 0,
+            shards: 1,
         }
     }
 

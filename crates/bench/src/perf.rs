@@ -14,6 +14,12 @@
 //! * **ring_election** — single-threaded ABE ring elections at `n` up to
 //!   10⁶ nodes, end-to-end through the network runtime (the headline
 //!   "million-node election in seconds on one core" measurement).
+//! * **ring_election_parallel** — the same election sharded across the
+//!   deterministic parallel kernel (`abe_core::shard`) to a fixed
+//!   virtual-time horizon, at 1–8 shards. Each cell records the wall
+//!   clock *and* the modelled speedup `Σ busy / critical_path` — the
+//!   lower bound on wall clock with one core per shard — so the scaling
+//!   trajectory is visible even when the harness runs on a single core.
 //! * **fault_storm** — an election under crash-recover churn plus a delay
 //!   storm, measuring dispatch throughput with the fault layer active.
 //!
@@ -92,6 +98,8 @@ pub struct PerfCell {
     pub wall_seconds: f64,
     /// Extra counters (messages, faults, …).
     pub counters: BTreeMap<&'static str, u64>,
+    /// Extra real-valued metrics (modelled speedups, ratios, …).
+    pub metrics: BTreeMap<&'static str, f64>,
 }
 
 impl PerfCell {
@@ -120,14 +128,20 @@ impl PerfCell {
             .iter()
             .map(|(name, value)| format!("{}:{value}", json_str(name)))
             .collect();
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(name, value)| format!("{}:{}", json_str(name), json_f64(*value)))
+            .collect();
         format!(
             "{{\"params\":{{{}}},\"events\":{},\"wall_seconds\":{},\
-             \"events_per_sec\":{},\"counters\":{{{}}}}}",
+             \"events_per_sec\":{},\"counters\":{{{}}},\"metrics\":{{{}}}}}",
             params.join(","),
             self.events,
             json_f64(self.wall_seconds),
             json_f64(self.events_per_sec()),
             counters.join(","),
+            metrics.join(","),
         )
     }
 }
@@ -358,6 +372,7 @@ fn churn_suite(mode: PerfMode) -> (PerfSuite, ChurnComparison) {
                 events,
                 wall_seconds: wall,
                 counters: BTreeMap::from([("ops", ops), ("iterations", u64::from(iters))]),
+                metrics: BTreeMap::new(),
             });
         }
     }
@@ -411,12 +426,92 @@ fn election_suite(mode: PerfMode) -> PerfSuite {
                 ("queue_scheduled", outcome.report.queue_stats.scheduled),
                 ("queue_cancelled", outcome.report.queue_stats.cancelled),
             ]),
+            metrics: BTreeMap::new(),
         });
     }
     PerfSuite {
         name: "ring_election",
         about: "single-threaded ABE ring election end-to-end through the network \
                 runtime (calibrated A0 = 1/n², exponential mean-1 delays)",
+        cells,
+    }
+}
+
+/// One fixed-horizon sharded election run (`MaxTime` outcome by
+/// construction, so the windowed parallel path is exercised rather than
+/// the stop-request fallback).
+fn parallel_election_cell(n: u32, shards: u32, horizon: f64) -> PerfCell {
+    use abe_core::delay::Uniform;
+    use abe_core::{NetworkBuilder, Topology};
+    use abe_election::AbeElection;
+    use abe_sim::{RunLimits, RunOutcome};
+
+    // a0 = 0.5 (not the calibrated 1/n²): every node activates within its
+    // first few ticks, so ~n tokens circulate for the whole horizon — a
+    // steady delivery workload. The election itself needs Ω(n·δ_min)
+    // virtual time to complete, far past the horizon, so no stop request
+    // ever interrupts a window.
+    let net = NetworkBuilder::new(Topology::unidirectional_ring(n).expect("n >= 1"))
+        .delay(Uniform::new(0.5, 1.5).expect("valid bounds"))
+        .seed(1)
+        .shards(shards)
+        .build(|_| AbeElection::new(n, 0.5).expect("valid a0"))
+        .expect("valid build");
+    let limits = RunLimits::events(200_000_000).with_max_time(SimTime::from_secs(horizon));
+    let started = Instant::now();
+    let (report, net) = net.run_sharded(limits);
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(
+        report.outcome,
+        RunOutcome::MaxTime,
+        "parallel perf run at n={n}, shards={shards} must end at the horizon"
+    );
+    let mut counters = BTreeMap::from([("messages", report.messages_sent)]);
+    let mut metrics = BTreeMap::from([("modeled_speedup", 1.0)]);
+    if let Some(timing) = net.shard_timing() {
+        assert!(!timing.fell_back, "a MaxTime horizon run never falls back");
+        let busy: u64 = timing.busy_nanos.iter().sum();
+        counters.insert("windows", timing.windows);
+        counters.insert("single_steps", timing.single_steps);
+        counters.insert("busy_nanos", busy);
+        counters.insert("critical_path_nanos", timing.critical_path_nanos);
+        metrics.insert(
+            "modeled_speedup",
+            busy as f64 / timing.critical_path_nanos.max(1) as f64,
+        );
+    }
+    PerfCell {
+        params: vec![
+            ("n", ParamValue::U64(u64::from(n))),
+            ("shards", ParamValue::U64(u64::from(shards))),
+        ],
+        events: report.events_processed,
+        wall_seconds: wall,
+        counters,
+        metrics,
+    }
+}
+
+fn parallel_election_suite(mode: PerfMode) -> PerfSuite {
+    let (sizes, shard_counts, horizon): (&[u32], &[u32], f64) = match mode {
+        PerfMode::Smoke => (&[10_000], &[1, 2, 4], 2.0),
+        // 10⁷ is deliberately omitted: the fixed horizon alone would put a
+        // single cell past the full-mode time budget.
+        PerfMode::Full => (&[100_000, 1_000_000], &[1, 2, 4, 8], 4.0),
+    };
+    let mut cells = Vec::new();
+    for &n in sizes {
+        for &shards in shard_counts {
+            cells.push(parallel_election_cell(n, shards, horizon));
+        }
+    }
+    PerfSuite {
+        name: "ring_election_parallel",
+        about: "sharded ABE ring election to a fixed virtual-time horizon \
+                (uniform 0.5-1.5 delays give 0.5 s of lookahead per window); \
+                modeled_speedup = total busy time / critical path, the \
+                wall-clock bound with one core per shard — on a single-core \
+                host the wall clock itself cannot speed up",
         cells,
     }
 }
@@ -447,6 +542,7 @@ fn fault_storm_suite(mode: PerfMode) -> PerfSuite {
             ("fault_recoveries", outcome.report.faults.recoveries),
             ("storm_deliveries", outcome.report.faults.storm_deliveries),
         ]),
+        metrics: BTreeMap::new(),
     };
     PerfSuite {
         name: "fault_storm",
@@ -460,10 +556,11 @@ fn fault_storm_suite(mode: PerfMode) -> PerfSuite {
 pub fn run(mode: PerfMode) -> KernelBench {
     let (churn, comparison) = churn_suite(mode);
     let election = election_suite(mode);
+    let parallel = parallel_election_suite(mode);
     let storm = fault_storm_suite(mode);
     KernelBench {
         mode,
-        suites: vec![churn, election, storm],
+        suites: vec![churn, election, parallel, storm],
         churn: comparison,
     }
 }
@@ -499,6 +596,7 @@ mod tests {
             events: 100,
             wall_seconds: 0.5,
             counters: BTreeMap::from([("ops", 7u64)]),
+            metrics: BTreeMap::from([("modeled_speedup", 2.5)]),
         };
         assert_eq!(cell.events_per_sec(), 200.0);
         assert_eq!(cell.label(), "backend=heap, pending=10");
@@ -506,5 +604,6 @@ mod tests {
         assert!(json.contains("\"params\":{\"backend\":\"heap\",\"pending\":10}"));
         assert!(json.contains("\"events\":100"));
         assert!(json.contains("\"counters\":{\"ops\":7}"));
+        assert!(json.contains("\"metrics\":{\"modeled_speedup\":2.5}"));
     }
 }

@@ -404,16 +404,16 @@ mod perf_harness {
     #[test]
     fn kernel_bench_smoke_document_is_valid_json_with_throughput() {
         let bench = perf::run(PerfMode::Smoke);
-        assert_eq!(bench.suites.len(), 3);
+        assert_eq!(bench.suites.len(), 4);
         let doc = bench.to_json();
         assert_valid_json(&doc);
         assert!(doc.starts_with("{\"schema\":\"abe-bench/kernel-v1\""));
-        for (suite, name) in
-            bench
-                .suites
-                .iter()
-                .zip(["queue_churn", "ring_election", "fault_storm"])
-        {
+        for (suite, name) in bench.suites.iter().zip([
+            "queue_churn",
+            "ring_election",
+            "ring_election_parallel",
+            "fault_storm",
+        ]) {
             assert_eq!(suite.name, name);
             assert!(!suite.cells.is_empty(), "{name} has no cells");
             assert!(doc.contains(&format!("\"{name}\"")));
@@ -424,6 +424,19 @@ mod perf_harness {
         }
         assert!(bench.churn.speedup() > 0.0);
         assert!(doc.contains("\"speedup\":"));
+
+        // The parallel suite carries the equivalence guarantee into the
+        // document: identical event counts across shard counts, and a
+        // modelled-speedup metric on every cell.
+        let parallel = &bench.suites[2];
+        let events: std::collections::BTreeSet<u64> =
+            parallel.cells.iter().map(|c| c.events).collect();
+        assert_eq!(events.len(), 1, "event counts differ across shard counts");
+        for cell in &parallel.cells {
+            let speedup = cell.metrics["modeled_speedup"];
+            assert!(speedup > 0.0, "missing modelled speedup");
+        }
+        assert!(doc.contains("\"modeled_speedup\":"));
     }
 }
 

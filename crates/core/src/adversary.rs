@@ -307,6 +307,7 @@ pub struct AdversaryStats {
 
 /// The compiled, mutable runtime state of a plan inside a running
 /// [`Network`](crate::Network).
+#[derive(Clone)]
 pub(crate) struct AdversaryRuntime {
     strategy: Box<dyn Adversary>,
     auditor: BudgetAuditor,

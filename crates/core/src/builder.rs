@@ -69,6 +69,7 @@ pub struct NetworkBuilder {
     trace_capacity: usize,
     fault: FaultPlan,
     adversary: AdversaryPlan,
+    shards: u32,
 }
 
 impl NetworkBuilder {
@@ -89,7 +90,23 @@ impl NetworkBuilder {
             trace_capacity: 0,
             fault: FaultPlan::new(),
             adversary: AdversaryPlan::none(),
+            shards: 1,
         }
+    }
+
+    /// Sets the shard count used by [`Network::run_sharded`]: the node
+    /// space is split into `shards` contiguous ranges, each with its own
+    /// event queue, advanced in conservative time windows (see the
+    /// [`shard`](crate::shard) module docs). `1` (the default) runs
+    /// sequentially; the count is clamped to the node count.
+    ///
+    /// Shard count never influences random streams — every stream is
+    /// keyed by node or edge id — so any shard count produces a
+    /// [`NetworkReport`](crate::NetworkReport) equal to the sequential
+    /// one.
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Sets the delay model used by every edge.
@@ -245,8 +262,17 @@ impl NetworkBuilder {
         let channel_rngs = (0..edge_count)
             .map(|e| seeds.stream("channel", e as u64))
             .collect();
+        // Consuming processing models draw from one dedicated stream per
+        // edge (keyed by edge id, so draws are shard-invariant);
+        // non-consuming models (e.g. `Deterministic`) get only the scratch
+        // stream, which they never read.
+        let proc_rngs = self.processing.consumes_rng().then(|| {
+            (0..edge_count)
+                .map(|e| seeds.stream("proc-edge", e as u64))
+                .collect()
+        });
         let proc_rng = seeds.stream("processing", 0);
-        let faults = FaultRuntime::compile(&self.fault, &self.topo, seeds.stream("fault", 0));
+        let faults = FaultRuntime::compile(&self.fault, &self.topo, &seeds);
         // The adversary draws from its own dedicated child stream; stream
         // derivation is a pure hash, so an empty plan (compile → None)
         // leaves every other stream — and the whole run — untouched.
@@ -261,6 +287,7 @@ impl NetworkBuilder {
             node_rngs,
             edge_delays,
             channel_rngs,
+            proc_rngs,
             self.processing,
             proc_rng,
             self.fifo,
@@ -268,6 +295,7 @@ impl NetworkBuilder {
             self.trace_capacity,
             faults,
             adversary,
+            self.shards,
         ))
     }
 }
@@ -285,6 +313,7 @@ impl fmt::Debug for NetworkBuilder {
             .field("class", &self.class)
             .field("fault", &self.fault)
             .field("adversary", &self.adversary)
+            .field("shards", &self.shards)
             .finish()
     }
 }

@@ -57,6 +57,33 @@ pub trait DelayModel: fmt::Debug + Send + Sync {
     /// finite [`mean`](Self::mean).
     fn upper_bound(&self) -> Option<SimDuration>;
 
+    /// Infimum of the support: a time no sample can undercut.
+    ///
+    /// This is the *lookahead* the sharded kernel builds its conservative
+    /// time windows from — a cross-shard message sent at `t` cannot arrive
+    /// before `t + min_delay()`, so shards may safely advance that far
+    /// without synchronising. Models whose support reaches down to zero
+    /// (the exponential family) return `0.0`, which degrades sharded
+    /// execution to single-stepping; models with a genuine floor
+    /// (deterministic, uniform `lo`, Pareto `scale`, …) override this.
+    ///
+    /// Implementations must guarantee `sample(rng) >= min_delay()` for
+    /// every RNG state.
+    fn min_delay(&self) -> f64 {
+        0.0
+    }
+
+    /// Whether [`sample`](Self::sample) advances the RNG it is handed.
+    ///
+    /// Deterministic models ignore the RNG entirely and return `false`;
+    /// everything else consumes draws and must return `true` (the
+    /// default). The network runtime uses this to decide whether a
+    /// sampling stream must be materialised per edge for shard-order
+    /// independence — a model that never draws needs no stream at all.
+    fn consumes_rng(&self) -> bool {
+        true
+    }
+
     /// Short human-readable family name (e.g. `"exponential"`).
     fn name(&self) -> &'static str;
 }
@@ -127,6 +154,14 @@ impl DelayModel for Deterministic {
         SimDuration::from_secs(self.value)
     }
 
+    fn min_delay(&self) -> f64 {
+        self.value
+    }
+
+    fn consumes_rng(&self) -> bool {
+        false
+    }
+
     fn mean(&self) -> SimDuration {
         SimDuration::from_secs(self.value)
     }
@@ -186,6 +221,10 @@ impl DelayModel for Uniform {
 
     fn mean(&self) -> SimDuration {
         SimDuration::from_secs(0.5 * (self.lo + self.hi))
+    }
+
+    fn min_delay(&self) -> f64 {
+        self.lo
     }
 
     fn upper_bound(&self) -> Option<SimDuration> {
@@ -366,6 +405,10 @@ impl DelayModel for Pareto {
 
     fn mean(&self) -> SimDuration {
         SimDuration::from_secs(self.shape * self.scale / (self.shape - 1.0))
+    }
+
+    fn min_delay(&self) -> f64 {
+        self.scale
     }
 
     fn upper_bound(&self) -> Option<SimDuration> {
@@ -582,6 +625,14 @@ impl DelayModel for Bimodal {
         SimDuration::from_secs(self.fast + (self.slow - self.fast) * self.slow_prob)
     }
 
+    fn min_delay(&self) -> f64 {
+        if self.slow_prob >= 1.0 {
+            self.slow
+        } else {
+            self.fast
+        }
+    }
+
     fn upper_bound(&self) -> Option<SimDuration> {
         Some(SimDuration::from_secs(if self.slow_prob > 0.0 {
             self.slow
@@ -777,6 +828,10 @@ impl DelayModel for Retransmission {
         SimDuration::from_secs(self.slot / self.success_prob)
     }
 
+    fn min_delay(&self) -> f64 {
+        self.slot
+    }
+
     fn upper_bound(&self) -> Option<SimDuration> {
         if self.success_prob >= 1.0 {
             Some(SimDuration::from_secs(self.slot))
@@ -823,6 +878,14 @@ impl<D: DelayModel> DelayModel for Shifted<D> {
 
     fn mean(&self) -> SimDuration {
         self.inner.mean() + SimDuration::from_secs(self.offset)
+    }
+
+    fn min_delay(&self) -> f64 {
+        self.offset + self.inner.min_delay()
+    }
+
+    fn consumes_rng(&self) -> bool {
+        self.inner.consumes_rng()
     }
 
     fn upper_bound(&self) -> Option<SimDuration> {

@@ -13,9 +13,10 @@
 //!   lost. Protocol state is frozen, not reset (fail-pause semantics);
 //!   its local clock keeps running, so on recovery local time has moved.
 //! * **random drops** — each message sent on a matching edge is lost
-//!   independently with probability `p`, drawn from a dedicated
-//!   `"fault"` [`SeedStream`] child stream so runs stay bit-reproducible
-//!   and an *empty* plan consumes zero random draws.
+//!   independently with probability `p`, drawn from a per-edge `"drop"`
+//!   [`SeedStream`] child stream (keyed by edge id, so sharded runs draw
+//!   identically; see `crate::shard`). Runs stay bit-reproducible and an
+//!   *empty* plan consumes zero random draws.
 //! * **partition windows** — a node set is cut off during `[from, until)`:
 //!   messages **sent** inside the window on an edge crossing the cut are
 //!   dropped. Messages already in flight when the window opens escape it.
@@ -453,6 +454,29 @@ impl FaultStats {
     pub fn dropped(&self) -> u64 {
         self.dropped_crash + self.dropped_partition + self.dropped_random
     }
+
+    /// Folds another counter set into this one (used to combine per-shard
+    /// fault telemetry into one run-level report).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use abe_core::fault::FaultStats;
+    ///
+    /// let mut a = FaultStats { crashes: 1, ..FaultStats::default() };
+    /// let b = FaultStats { crashes: 2, dropped_random: 5, ..FaultStats::default() };
+    /// a.merge(&b);
+    /// assert_eq!(a.crashes, 3);
+    /// assert_eq!(a.dropped_random, 5);
+    /// ```
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.dropped_crash += other.dropped_crash;
+        self.dropped_partition += other.dropped_partition;
+        self.dropped_random += other.dropped_random;
+        self.storm_deliveries += other.storm_deliveries;
+    }
 }
 
 /// How a run under faults ended, as classified by the algorithm runners
@@ -521,12 +545,14 @@ pub(crate) enum SendFate {
     DropRandom,
 }
 
+#[derive(Clone)]
 struct CompiledPartition {
     member: Vec<bool>,
     from: f64,
     until: f64,
 }
 
+#[derive(Clone)]
 struct CompiledStorm {
     /// Per-edge membership; `None` means all edges.
     member: Option<Vec<bool>>,
@@ -537,22 +563,29 @@ struct CompiledStorm {
 
 /// The compiled, mutable runtime state of a plan inside a running
 /// [`Network`](crate::Network).
+#[derive(Clone)]
 pub(crate) struct FaultRuntime {
     crashes: Vec<CrashWindow>,
-    /// Per-node down counter (overlapping windows nest).
+    /// Per-node down counter (overlapping windows nest). Allocated only
+    /// when the plan schedules crashes; empty means "nobody ever down".
     down: Vec<u32>,
     /// Per-edge compound drop probability; empty when no drop rules.
     drop_p: Vec<f64>,
+    /// Per-edge drop-decision streams, populated exactly for edges with a
+    /// positive drop probability. Keyed by edge id (`"drop"` seed-stream
+    /// children), so the decision sequence of an edge is the same whether
+    /// the whole network or only its shard executes the sends.
+    drop_rngs: Vec<Option<Box<Xoshiro256PlusPlus>>>,
     partitions: Vec<CompiledPartition>,
     storms: Vec<CompiledStorm>,
-    rng: Xoshiro256PlusPlus,
     pub(crate) stats: FaultStats,
 }
 
 impl FaultRuntime {
-    /// Compiles a validated plan against `topo`; `rng` must come from the
-    /// builder's `"fault"` seed stream.
-    pub(crate) fn compile(plan: &FaultPlan, topo: &Topology, rng: Xoshiro256PlusPlus) -> Self {
+    /// Compiles a validated plan against `topo`; `seeds` must be the
+    /// builder's master [`SeedStream`] (drop streams derive from its
+    /// `"drop"` children, one per edge with a positive probability).
+    pub(crate) fn compile(plan: &FaultPlan, topo: &Topology, seeds: &SeedStream) -> Self {
         let n = topo.node_count() as usize;
         let edge_count = topo.edge_count();
         let drop_p = if plan.drops.is_empty() {
@@ -598,13 +631,22 @@ impl FaultRuntime {
                 factor: s.factor,
             })
             .collect();
+        let drop_rngs = drop_p
+            .iter()
+            .enumerate()
+            .map(|(e, &p)| (p > 0.0).then(|| Box::new(seeds.stream("drop", e as u64))))
+            .collect();
         Self {
             crashes: plan.crashes.clone(),
-            down: vec![0; n],
+            down: if plan.crashes.is_empty() {
+                Vec::new()
+            } else {
+                vec![0; n]
+            },
             drop_p,
+            drop_rngs,
             partitions,
             storms,
-            rng,
             stats: FaultStats::default(),
         }
     }
@@ -616,9 +658,10 @@ impl FaultRuntime {
 
     /// Whether `node` is currently down.
     pub(crate) fn is_down(&self, node: usize) -> bool {
-        // `compile` always sizes `down` to the node count; an
-        // out-of-range index is a runtime bug and must fail loudly.
-        self.down[node] > 0
+        // `down` is empty for crash-free plans (the common case at scale:
+        // no per-node allocation, no memory traffic on the hot path); an
+        // out-of-range index with crashes present must fail loudly.
+        !self.down.is_empty() && self.down[node] > 0
     }
 
     pub(crate) fn on_crash(&mut self, node: usize) {
@@ -637,9 +680,9 @@ impl FaultRuntime {
 
     /// Decides the fate of a message sent at `now` on `edge` from `src`
     /// to `dst`. Check order is fixed (partition → random drop → storms)
-    /// so the `"fault"` RNG stream is consumed deterministically: exactly
-    /// one draw per send on an edge with a positive drop probability that
-    /// was not already lost to a partition.
+    /// so each edge's `"drop"` RNG stream is consumed deterministically:
+    /// exactly one draw per send on an edge with a positive drop
+    /// probability that was not already lost to a partition.
     pub(crate) fn on_send(&mut self, edge: usize, src: usize, dst: usize, now: f64) -> SendFate {
         for p in &self.partitions {
             if now >= p.from && now < p.until && (p.member[src] != p.member[dst]) {
@@ -649,9 +692,14 @@ impl FaultRuntime {
         }
         if !self.drop_p.is_empty() {
             let p = self.drop_p[edge];
-            if p > 0.0 && self.rng.uniform_f64() < p {
-                self.stats.dropped_random += 1;
-                return SendFate::DropRandom;
+            if p > 0.0 {
+                let rng = self.drop_rngs[edge]
+                    .as_deref_mut()
+                    .expect("positive-probability edge has a drop stream");
+                if rng.uniform_f64() < p {
+                    self.stats.dropped_random += 1;
+                    return SendFate::DropRandom;
+                }
             }
         }
         let mut stretch = 1.0;
@@ -664,6 +712,27 @@ impl FaultRuntime {
             self.stats.storm_deliveries += 1;
         }
         SendFate::Deliver { stretch }
+    }
+
+    /// Copies the down-state of nodes `lo..hi` from `owner` — the shard
+    /// runtime that processed those nodes' crash/recover events — into
+    /// this (merged) runtime. No-op for crash-free plans.
+    pub(crate) fn adopt_down(&mut self, owner: &FaultRuntime, lo: usize, hi: usize) {
+        if !self.down.is_empty() {
+            self.down[lo..hi].copy_from_slice(&owner.down[lo..hi]);
+        }
+    }
+
+    /// A static lower bound on the compound storm stretch any send on
+    /// `edge` can ever receive: the product of all sub-unity factors whose
+    /// storm covers the edge (as if they all overlapped). Used by the
+    /// sharded kernel's lookahead; 1.0 when no storm can shrink delays.
+    pub(crate) fn min_stretch(&self, edge: usize) -> f64 {
+        self.storms
+            .iter()
+            .filter(|s| s.factor < 1.0 && s.member.as_ref().is_none_or(|m| m[edge]))
+            .map(|s| s.factor)
+            .product()
     }
 }
 
@@ -690,8 +759,8 @@ mod tests {
         Topology::unidirectional_ring(n).unwrap()
     }
 
-    fn rng() -> Xoshiro256PlusPlus {
-        SeedStream::new(0).stream("fault", 0)
+    fn seeds() -> SeedStream {
+        SeedStream::new(0)
     }
 
     #[test]
@@ -802,7 +871,7 @@ mod tests {
     #[test]
     fn runtime_tracks_down_state() {
         let plan = FaultPlan::new().crash_recover(1, 1.0, 2.0);
-        let mut rt = FaultRuntime::compile(&plan, &ring(3), rng());
+        let mut rt = FaultRuntime::compile(&plan, &ring(3), &seeds());
         assert!(!rt.is_down(1));
         rt.on_crash(1);
         assert!(rt.is_down(1));
@@ -820,7 +889,7 @@ mod tests {
     #[test]
     fn partition_drops_only_cut_crossing_sends_inside_window() {
         let plan = FaultPlan::new().partition(vec![1], 1.0, 2.0);
-        let mut rt = FaultRuntime::compile(&plan, &ring(3), rng());
+        let mut rt = FaultRuntime::compile(&plan, &ring(3), &seeds());
         // Edge 0: n0 -> n1 crosses the cut.
         assert_eq!(rt.on_send(0, 0, 1, 1.5), SendFate::DropPartition);
         // Outside the window: delivered.
@@ -834,12 +903,12 @@ mod tests {
     #[test]
     fn drop_probability_extremes() {
         let always = FaultPlan::new().drop(EdgeSelector::All, 1.0);
-        let mut rt = FaultRuntime::compile(&always, &ring(3), rng());
+        let mut rt = FaultRuntime::compile(&always, &ring(3), &seeds());
         for _ in 0..10 {
             assert_eq!(rt.on_send(0, 0, 1, 0.0), SendFate::DropRandom);
         }
         let never = FaultPlan::new().drop(EdgeSelector::All, 0.0);
-        let mut rt = FaultRuntime::compile(&never, &ring(3), rng());
+        let mut rt = FaultRuntime::compile(&never, &ring(3), &seeds());
         for _ in 0..10 {
             assert_eq!(rt.on_send(0, 0, 1, 0.0), SendFate::Deliver { stretch: 1.0 });
         }
@@ -851,7 +920,7 @@ mod tests {
         let plan = FaultPlan::new()
             .drop(EdgeSelector::Edges(vec![0]), 0.5)
             .drop(EdgeSelector::Edges(vec![0]), 0.5);
-        let rt = FaultRuntime::compile(&plan, &ring(3), rng());
+        let rt = FaultRuntime::compile(&plan, &ring(3), &seeds());
         assert!((rt.drop_p[0] - 0.75).abs() < 1e-12);
         assert_eq!(rt.drop_p[1], 0.0);
     }
@@ -861,7 +930,7 @@ mod tests {
         let plan = FaultPlan::new()
             .delay_storm(EdgeSelector::All, 1.0, 3.0, 2.0)
             .delay_storm(EdgeSelector::Edges(vec![0]), 2.0, 4.0, 5.0);
-        let mut rt = FaultRuntime::compile(&plan, &ring(3), rng());
+        let mut rt = FaultRuntime::compile(&plan, &ring(3), &seeds());
         assert_eq!(rt.on_send(0, 0, 1, 0.5), SendFate::Deliver { stretch: 1.0 });
         assert_eq!(rt.on_send(0, 0, 1, 1.5), SendFate::Deliver { stretch: 2.0 });
         assert_eq!(

@@ -84,6 +84,7 @@ mod error;
 pub mod fault;
 mod net;
 mod protocol;
+pub mod shard;
 pub mod topology;
 
 pub use adversary::{Adversary, AdversaryPlan, AdversaryStats, BudgetAuditor, SendView};
@@ -91,7 +92,7 @@ pub use builder::NetworkBuilder;
 pub use class::{AbeParams, NetworkClass};
 pub use error::{BuildError, ClassViolation, InvalidParamError, TopologyError};
 pub use fault::{FaultPlan, FaultStats, OutcomeClass};
-pub use net::{NetEvent, Network, NetworkReport};
+pub use net::{NetEvent, Network, NetworkReport, ShardTiming};
 pub use protocol::{geometric_trials, Ctx, CtxEffects, InPort, OutPort, Protocol};
 pub use topology::Topology;
 

@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use abe_sim::{
     EventToken, QueueStats, RunLimits, RunOutcome, SimTime, Simulation, StepCtx, TraceBuffer,
@@ -47,6 +48,7 @@ pub enum NetEvent<M> {
     Recover(u32),
 }
 
+#[derive(Clone)]
 pub(crate) struct NodeSlot<P> {
     pub(crate) proto: P,
     clock: LocalClock,
@@ -56,15 +58,49 @@ pub(crate) struct NodeSlot<P> {
     messages_received: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct ChannelState {
     pub(crate) delay: SharedDelay,
     rng: Xoshiro256PlusPlus,
+    /// Dedicated processing-delay stream for this edge; `None` when the
+    /// processing model does not consume randomness (see
+    /// [`DelayModel::consumes_rng`](crate::delay::DelayModel::consumes_rng)).
+    /// Keyed by edge id so the draw sequence is independent of which shard
+    /// executes the edge.
+    proc: Option<Box<Xoshiro256PlusPlus>>,
     last_arrival: SimTime,
     sent: u64,
 }
 
+/// Canonical total order of same-time events, encoded into the queue's
+/// 64-bit ordering key (see [`abe_sim::EventQueue::schedule_keyed`]):
+/// kind in bits 61–63, entity id (node or edge) in bits 29–60, a per-entity
+/// sequence number in bits 0–28. The order is a *deterministic function of
+/// the event's identity*, never of scheduling order, which is what makes
+/// sequential and sharded execution pop identical event sequences.
+pub(crate) const KIND_START: u64 = 0;
+pub(crate) const KIND_CRASH: u64 = 1;
+pub(crate) const KIND_RECOVER: u64 = 2;
+pub(crate) const KIND_TICK: u64 = 3;
+pub(crate) const KIND_DELIVER: u64 = 4;
+
+const KEY_SEQ_BITS: u32 = 29;
+
+#[inline]
+pub(crate) fn event_key(kind: u64, id: u32, seq: u64) -> u64 {
+    debug_assert!(kind < 8, "event kind out of range");
+    debug_assert!(seq < 1 << KEY_SEQ_BITS, "per-entity sequence overflow");
+    (kind << 61) | (u64::from(id) << KEY_SEQ_BITS) | (seq & ((1 << KEY_SEQ_BITS) - 1))
+}
+
 /// Aggregated outcome of a network run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality (`==`) compares every field except the *structure-dependent*
+/// dead-entry skim counters of [`QueueStats`] (`front_dead` / `far_dead`):
+/// those count internal queue maintenance work, which legitimately differs
+/// between a sequential run (one queue) and a sharded run (one queue per
+/// shard) that are otherwise event-for-event identical.
+#[derive(Debug, Clone)]
 pub struct NetworkReport {
     /// Why the simulation returned.
     pub outcome: RunOutcome,
@@ -100,27 +136,122 @@ impl NetworkReport {
     }
 }
 
+impl PartialEq for NetworkReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical queue activity must match; the skim counters are
+        // maintenance telemetry and excluded (see the type-level docs).
+        let queue_eq = self.queue_stats.scheduled == other.queue_stats.scheduled
+            && self.queue_stats.cancelled == other.queue_stats.cancelled
+            && self.queue_stats.popped == other.queue_stats.popped;
+        self.outcome == other.outcome
+            && self.end_time == other.end_time
+            && self.events_processed == other.events_processed
+            && self.messages_sent == other.messages_sent
+            && self.messages_delivered == other.messages_delivered
+            && self.in_flight == other.in_flight
+            && self.ticks == other.ticks
+            && queue_eq
+            && self.faults == other.faults
+            && self.adversary == other.adversary
+            && self.counters == other.counters
+    }
+}
+
+/// Wall-clock telemetry of one sharded run, attached to the returned
+/// [`Network`] by [`Network::run_sharded`] (absent after sequential runs).
+///
+/// On a host with fewer cores than shards the *wall-clock* speedup is
+/// bounded by the core count; `busy_nanos` / `critical_path_nanos` expose
+/// the work distribution so harnesses can also report the *modelled*
+/// speedup `sum(busy) / critical_path` an unconstrained host would see.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardTiming {
+    /// Number of shards the run actually used.
+    pub shards: u32,
+    /// Conservative time windows executed (parallel phase).
+    pub windows: u64,
+    /// Events executed one-at-a-time because the lookahead was zero (the
+    /// degenerate serial fallback for zero-`min_delay` models).
+    pub single_steps: u64,
+    /// Per-shard busy time in nanoseconds (event processing only).
+    pub busy_nanos: Vec<u64>,
+    /// Sum over windows of the slowest shard's busy time — the modelled
+    /// wall-clock lower bound with one core per shard.
+    pub critical_path_nanos: u64,
+    /// Whether the run aborted the windowed pass and re-ran sequentially
+    /// (stop request or event-budget overshoot mid-window).
+    pub fell_back: bool,
+}
+
 /// A fully wired network of `P`-protocol nodes, ready to simulate.
 ///
 /// Construct through [`NetworkBuilder`](crate::NetworkBuilder); run with
 /// [`Network::run`].
 pub struct Network<P: Protocol> {
-    topo: Topology,
+    pub(crate) topo: Arc<Topology>,
     /// Per node: in-port index → reverse out-port (bidirectional links).
-    reply_ports: Vec<Vec<Option<usize>>>,
-    nodes: Vec<NodeSlot<P>>,
-    channels: Vec<ChannelState>,
-    processing: SharedDelay,
-    proc_rng: Xoshiro256PlusPlus,
-    fifo: bool,
-    tick_interval: f64,
-    counters: BTreeMap<&'static str, u64>,
-    messages_sent: u64,
-    messages_delivered: u64,
-    ticks: u64,
-    trace: Option<TraceBuffer<String>>,
-    faults: FaultRuntime,
-    adversary: Option<AdversaryRuntime>,
+    /// Shared (immutable) so shard partitions don't duplicate it.
+    pub(crate) reply_ports: Arc<Vec<Vec<Option<usize>>>>,
+    pub(crate) nodes: Vec<NodeSlot<P>>,
+    pub(crate) channels: Vec<ChannelState>,
+    pub(crate) processing: SharedDelay,
+    /// Scratch stream handed to non-consuming processing models (see
+    /// [`ChannelState::proc`] for the consuming case). Never observable:
+    /// models with `consumes_rng() == false` must not read it.
+    pub(crate) proc_rng: Xoshiro256PlusPlus,
+    pub(crate) fifo: bool,
+    pub(crate) tick_interval: f64,
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) messages_sent: u64,
+    pub(crate) messages_delivered: u64,
+    pub(crate) ticks: u64,
+    pub(crate) trace: Option<TraceBuffer<String>>,
+    pub(crate) faults: FaultRuntime,
+    pub(crate) adversary: Option<AdversaryRuntime>,
+    /// Requested shard count (from [`NetworkBuilder::shards`]); 1 = run
+    /// sequentially even under [`Network::run_sharded`].
+    pub(crate) shards: u32,
+    /// First node id owned by this (partition of a) network; 0 for a full
+    /// network. `nodes` holds the contiguous range starting here.
+    pub(crate) shard_lo: u32,
+    /// Global edge ids owned by this partition, sorted ascending; `None`
+    /// when the network owns every edge (`channels[e]` is edge `e`).
+    pub(crate) edge_ranks: Option<Vec<u32>>,
+    /// Cross-shard sends produced during a window: `(arrival, key, edge,
+    /// message)`, routed into the destination shard at the next barrier.
+    pub(crate) outbox: Vec<(SimTime, u64, u32, P::Message)>,
+    /// Telemetry of the last sharded run (set on the merged network).
+    pub(crate) timing: Option<ShardTiming>,
+}
+
+impl<P: Protocol + Clone> Clone for Network<P>
+where
+    P::Message: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            topo: Arc::clone(&self.topo),
+            reply_ports: Arc::clone(&self.reply_ports),
+            nodes: self.nodes.clone(),
+            channels: self.channels.clone(),
+            processing: Arc::clone(&self.processing),
+            proc_rng: self.proc_rng.clone(),
+            fifo: self.fifo,
+            tick_interval: self.tick_interval,
+            counters: self.counters.clone(),
+            messages_sent: self.messages_sent,
+            messages_delivered: self.messages_delivered,
+            ticks: self.ticks,
+            trace: self.trace.clone(),
+            faults: self.faults.clone(),
+            adversary: self.adversary.clone(),
+            shards: self.shards,
+            shard_lo: self.shard_lo,
+            edge_ranks: self.edge_ranks.clone(),
+            outbox: self.outbox.clone(),
+            timing: self.timing.clone(),
+        }
+    }
 }
 
 enum Dispatch<M> {
@@ -138,6 +269,7 @@ impl<P: Protocol> Network<P> {
         node_rngs: Vec<Xoshiro256PlusPlus>,
         edge_delays: Vec<SharedDelay>,
         channel_rngs: Vec<Xoshiro256PlusPlus>,
+        proc_rngs: Option<Vec<Xoshiro256PlusPlus>>,
         processing: SharedDelay,
         proc_rng: Xoshiro256PlusPlus,
         fifo: bool,
@@ -145,6 +277,7 @@ impl<P: Protocol> Network<P> {
         trace_capacity: usize,
         faults: FaultRuntime,
         adversary: Option<AdversaryRuntime>,
+        shards: u32,
     ) -> Self {
         debug_assert_eq!(protos.len(), topo.node_count() as usize);
         debug_assert_eq!(edge_delays.len(), topo.edge_count());
@@ -161,12 +294,14 @@ impl<P: Protocol> Network<P> {
                 messages_received: 0,
             })
             .collect();
+        let mut proc_rngs = proc_rngs.map(Vec::into_iter);
         let channels = edge_delays
             .into_iter()
             .zip(channel_rngs)
             .map(|(delay, rng)| ChannelState {
                 delay,
                 rng,
+                proc: proc_rngs.as_mut().and_then(|it| it.next()).map(Box::new),
                 last_arrival: SimTime::ZERO,
                 sent: 0,
             })
@@ -180,8 +315,8 @@ impl<P: Protocol> Network<P> {
             })
             .collect();
         Self {
-            reply_ports,
-            topo,
+            reply_ports: Arc::new(reply_ports),
+            topo: Arc::new(topo),
             nodes,
             channels,
             processing,
@@ -195,7 +330,31 @@ impl<P: Protocol> Network<P> {
             trace: (trace_capacity > 0).then(|| TraceBuffer::new(trace_capacity)),
             faults,
             adversary,
+            shards: shards.max(1),
+            shard_lo: 0,
+            edge_ranks: None,
+            outbox: Vec::new(),
+            timing: None,
         }
+    }
+
+    /// Index of `node` in this (partition of a) network's `nodes` vector.
+    #[inline]
+    pub(crate) fn node_slot(&self, node: u32) -> usize {
+        (node - self.shard_lo) as usize
+    }
+
+    /// Whether `node` is owned by this partition (always true for a full
+    /// network).
+    #[inline]
+    pub(crate) fn owns_node(&self, node: u32) -> bool {
+        (node.wrapping_sub(self.shard_lo) as usize) < self.nodes.len()
+    }
+
+    /// Telemetry of the last [`run_sharded`](Network::run_sharded) call,
+    /// attached to the returned network; `None` after sequential runs.
+    pub fn shard_timing(&self) -> Option<&ShardTiming> {
+        self.timing.as_ref()
     }
 
     /// The retained execution trace, if tracing was enabled via
@@ -252,16 +411,29 @@ impl<P: Protocol> Network<P> {
         let n = self.topo.node_count();
         let mut sim = Simulation::new(self);
         for i in 0..n {
-            sim.prime(SimTime::ZERO, NetEvent::Start(i));
+            sim.prime_keyed(
+                SimTime::ZERO,
+                event_key(KIND_START, i, 0),
+                NetEvent::Start(i),
+            );
         }
-        // Prime the fault schedule after the start events, so a crash at
-        // t = 0 still lets `on_start` run first. With an empty plan this
-        // primes nothing and the event sequence is untouched.
+        // Prime the fault schedule. Crash/recover events order *before*
+        // same-time ticks and deliveries by key kind, so a crash at t = 0
+        // still lets `on_start` run first (start < crash by kind).
         let windows: Vec<_> = sim.world().faults.crash_windows().to_vec();
-        for w in windows {
-            sim.prime(SimTime::from_secs(w.at), NetEvent::Crash(w.node));
+        for (w_idx, w) in windows.into_iter().enumerate() {
+            let seq = w_idx as u64;
+            sim.prime_keyed(
+                SimTime::from_secs(w.at),
+                event_key(KIND_CRASH, w.node, seq),
+                NetEvent::Crash(w.node),
+            );
             if let Some(recover_at) = w.recover_at {
-                sim.prime(SimTime::from_secs(recover_at), NetEvent::Recover(w.node));
+                sim.prime_keyed(
+                    SimTime::from_secs(recover_at),
+                    event_key(KIND_RECOVER, w.node, seq),
+                    NetEvent::Recover(w.node),
+                );
             }
         }
         let kernel_report = sim.run(limits);
@@ -302,9 +474,10 @@ impl<P: Protocol> Network<P> {
         let in_degree = self.topo.in_degree(node_id);
         let network_size = self.topo.node_count();
 
+        let local = self.node_slot(node_index);
         let (outbox, counters, stop) = {
             let reply_ports = &self.reply_ports[node_index as usize];
-            let slot = &mut self.nodes[node_index as usize];
+            let slot = &mut self.nodes[local];
             let local_time = slot.clock.advance_to(step.now());
             let mut ctx = Ctx::new(
                 local_time,
@@ -344,15 +517,30 @@ impl<P: Protocol> Network<P> {
     ) {
         let edge = self.topo.out_edges(src)[port];
         let dst = self.topo.edge(edge).dst;
-        let channel = &mut self.channels[edge.index()];
+        let src_local = self.node_slot(src.index() as u32);
+        let channel = &mut self.channels[match &self.edge_ranks {
+            None => edge.index(),
+            Some(ranks) => ranks
+                .binary_search(&(edge.index() as u32))
+                .expect("edge not owned by this shard"),
+        }];
         // Delay and processing draws happen before the fault verdict, so
         // the channel/processing RNG streams advance identically whether a
-        // message is dropped or not.
+        // message is dropped or not. Consuming processing models draw from
+        // the edge's dedicated stream (shard-invariant); non-consuming
+        // models get the never-read scratch stream.
         let channel_delay = channel.delay.sample(&mut channel.rng);
-        let proc_delay = self.processing.sample(&mut self.proc_rng);
+        let proc_delay = match channel.proc.as_deref_mut() {
+            Some(rng) => self.processing.sample(rng),
+            None => self.processing.sample(&mut self.proc_rng),
+        };
         let fate =
             self.faults
                 .on_send(edge.index(), src.index(), dst.index(), step.now().as_secs());
+        // The per-edge send sequence feeds the delivery's ordering key;
+        // dropped sends consume a sequence number too, keeping the key of
+        // every *delivered* message independent of fault verdicts ordering.
+        let send_seq = channel.sent;
         let stretch = match fate {
             SendFate::Deliver { stretch } => stretch,
             SendFate::DropPartition | SendFate::DropRandom => {
@@ -360,7 +548,7 @@ impl<P: Protocol> Network<P> {
                 // delivery never scheduled; FaultStats carries the loss.
                 channel.sent += 1;
                 self.messages_sent += 1;
-                self.nodes[src.index()].messages_sent += 1;
+                self.nodes[src_local].messages_sent += 1;
                 return;
             }
         };
@@ -391,19 +579,29 @@ impl<P: Protocol> Network<P> {
         channel.last_arrival = arrival;
         channel.sent += 1;
         self.messages_sent += 1;
-        self.nodes[src.index()].messages_sent += 1;
-        step.schedule_at(
-            arrival,
-            NetEvent::Deliver {
-                edge: edge.index() as u32,
-                msg,
-            },
-        );
+        self.nodes[src_local].messages_sent += 1;
+        let key = event_key(KIND_DELIVER, edge.index() as u32, send_seq);
+        if self.owns_node(dst.index() as u32) {
+            step.schedule_at_keyed(
+                arrival,
+                key,
+                NetEvent::Deliver {
+                    edge: edge.index() as u32,
+                    msg,
+                },
+            );
+        } else {
+            // Cross-shard send: held in the outbox and routed into the
+            // destination shard's queue at the next window barrier. The
+            // key makes insertion order irrelevant.
+            self.outbox.push((arrival, key, edge.index() as u32, msg));
+        }
     }
 
     /// Ensures the node's tick schedule matches its `wants_tick` state.
     fn sync_tick(&mut self, step: &mut StepCtx<'_, NetEvent<P::Message>>, node_index: u32) {
-        let slot = &mut self.nodes[node_index as usize];
+        let local = self.node_slot(node_index);
+        let slot = &mut self.nodes[local];
         let wants = slot.proto.wants_tick();
         match (wants, slot.tick_token) {
             (true, None) => {
@@ -413,7 +611,11 @@ impl<P: Protocol> Network<P> {
                 let interval = slot
                     .clock
                     .real_interval(self.tick_interval * stride as f64, &mut slot.rng);
-                let token = step.schedule_in(interval, NetEvent::Tick(node_index));
+                let token = step.schedule_at_keyed(
+                    step.now() + interval,
+                    event_key(KIND_TICK, node_index, 0),
+                    NetEvent::Tick(node_index),
+                );
                 slot.tick_token = Some(token);
             }
             (false, Some(token)) => {
@@ -456,7 +658,8 @@ impl<P: Protocol> World for Network<P> {
                 self.dispatch(step, i, Dispatch::Start);
             }
             NetEvent::Tick(i) => {
-                self.nodes[i as usize].tick_token = None;
+                let local = self.node_slot(i);
+                self.nodes[local].tick_token = None;
                 // Defensive: crashes cancel the pending tick, so a tick
                 // firing on a down node should be impossible.
                 if self.faults.is_down(i as usize) {
@@ -476,13 +679,15 @@ impl<P: Protocol> World for Network<P> {
                 }
                 let port = InPort(self.topo.in_port(eid));
                 self.messages_delivered += 1;
-                self.nodes[dst.index()].messages_received += 1;
+                let local = self.node_slot(dst.index() as u32);
+                self.nodes[local].messages_received += 1;
                 self.dispatch(step, dst.index() as u32, Dispatch::Message(port, msg));
             }
             NetEvent::Crash(i) => {
                 // Freeze the node: cancel its pending tick (visible in the
                 // queue's cancelled counter) and mark it down.
-                if let Some(token) = self.nodes[i as usize].tick_token.take() {
+                let local = self.node_slot(i);
+                if let Some(token) = self.nodes[local].tick_token.take() {
                     step.cancel(token);
                 }
                 self.faults.on_crash(i as usize);

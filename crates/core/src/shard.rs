@@ -1,0 +1,770 @@
+//! Deterministic parallel execution of a **single** simulation.
+//!
+//! [`Network::run_sharded`] splits the node space into `shards` contiguous
+//! ranges (from [`NetworkBuilder::shards`](crate::NetworkBuilder::shards)),
+//! gives each its own event queue, and advances all of them in
+//! **conservative time windows** — the classical null-message-free variant
+//! of conservative parallel discrete-event simulation:
+//!
+//! 1. Every edge `e` has a static *lookahead* `λ_e = min_delay(e) ·
+//!    min_stretch(e) + min_proc`, a lower bound on the latency of any
+//!    message it can ever carry
+//!    ([`min_delay`](crate::delay::DelayModel::min_delay), shrunk by
+//!    sub-unity delay-storm factors, plus the processing model's own
+//!    bound).
+//! 2. A shard whose earliest pending event is at `t_next` cannot cause a
+//!    cross-shard arrival before `t_next + λ_out`, where `λ_out` is the
+//!    minimum lookahead over its outgoing cross-shard edges.
+//! 3. The window end is `W = min over shards of (t_next + λ_out)`; every
+//!    shard may process all events strictly before `W` in parallel without
+//!    ever seeing a message from the current window arrive "in its past".
+//!
+//! Cross-shard sends are buffered in the sending shard's outbox during the
+//! window and routed into the destination queue at the barrier. Their
+//! ordering keys are a pure function of event identity (edge id plus the
+//! per-edge send sequence), so insertion order is irrelevant and every
+//! shard pops the exact event subsequence the sequential run would.
+//!
+//! ## Zero lookahead
+//!
+//! Unbounded-from-below delay models (e.g. exponential) have
+//! `min_delay() == 0`, collapsing the window to nothing. The executor then
+//! degenerates gracefully: it finds the globally earliest `(time, key)`
+//! across shards and steps that single shard once — serial, but still
+//! exact. Runs mix both modes freely (deterministic delays on some edges,
+//! heavy-tailed on others).
+//!
+//! ## Fidelity and fallback
+//!
+//! The windowed pass is **byte-identical** to the sequential run by
+//! construction: every random stream is keyed by node or edge id (never by
+//! shard count), per-edge state (FIFO clamp, send sequence, drop stream)
+//! lives with the source shard, and the per-event ordering key reproduces
+//! the sequential pop order. Three situations cannot be reproduced
+//! mid-window and fall back to the classic sequential loop on a pristine
+//! clone of the network (so the result is *still* identical):
+//!
+//! * a protocol requests a stop inside a parallel window (other shards
+//!   have already raced past the stop point),
+//! * the event budget is exhausted strictly inside a window,
+//! * a scheduling adversary or execution trace is installed (both observe
+//!   global state mid-run); these delegate up front.
+//!
+//! [`ShardTiming`] on the returned network records windows, degenerate
+//! single-steps, per-shard busy time, and the critical path, so harnesses
+//! on small hosts can report the *modelled* speedup `Σ busy /
+//! critical_path` alongside the wall clock.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use abe_sim::{QueueStats, RunLimits, RunOutcome, SimTime, Simulation};
+
+use crate::adversary::AdversaryStats;
+use crate::fault::FaultRuntime;
+use crate::net::{
+    event_key, ChannelState, NetEvent, Network, NetworkReport, NodeSlot, ShardTiming, KIND_CRASH,
+    KIND_RECOVER, KIND_START,
+};
+use crate::protocol::Protocol;
+use crate::topology::{edge_id_from_raw, Topology};
+
+/// Below this many total pending events a window is executed on the
+/// calling thread (spawning is pure overhead); results are identical
+/// either way.
+const SERIAL_WINDOW_THRESHOLD: usize = 4096;
+
+/// One shard: a partition of the network driven by its own simulation.
+struct Shard<P: Protocol> {
+    sim: Simulation<Network<P>>,
+    /// Minimum lookahead over outgoing cross-shard edges (`∞` if none).
+    lookahead: f64,
+    /// Owned node range `lo..hi` (global ids).
+    lo: u32,
+    hi: u32,
+    /// Busy nanoseconds accumulated across windows and single-steps.
+    busy_nanos: u64,
+}
+
+impl<P> Network<P>
+where
+    P: Protocol + Clone + Send,
+    P::Message: Send,
+{
+    /// Runs the network like [`Network::run`], but partitioned across the
+    /// configured shard count (see
+    /// [`NetworkBuilder::shards`](crate::NetworkBuilder::shards)) and
+    /// advanced in conservative time windows executed in parallel.
+    ///
+    /// The returned [`NetworkReport`] — outcome, end time, event count,
+    /// message counters, fault statistics, queue telemetry — is equal to
+    /// the sequential run's for every shard count; see the
+    /// [module docs](crate::shard) for why. Runs that cannot be
+    /// parallelised faithfully (installed adversary, enabled trace, a
+    /// mid-window stop or event-budget exhaustion) are re-run sequentially
+    /// on a pristine copy, preserving the guarantee at the cost of the
+    /// speedup; [`Network::shard_timing`] reports whether that happened.
+    pub fn run_sharded(self, limits: RunLimits) -> (NetworkReport, Network<P>) {
+        let n = self.topo.node_count();
+        let shards = self.shards.min(n).max(1);
+        // Delegate whole-run observers (and trivial shard counts) to the
+        // sequential loop: an adversary reads global node heat per send,
+        // and a trace must interleave records in global time order.
+        if shards <= 1 || self.adversary.is_some() || self.trace.is_some() {
+            return self.run(limits);
+        }
+        let pristine = self.clone();
+        match run_windowed(self, shards, limits) {
+            Ok(done) => done,
+            Err(mut timing) => {
+                // The windowed pass aborted (stop or budget overshoot
+                // mid-window): discard it and replay sequentially from the
+                // pristine clone — identical to `run` by construction.
+                timing.fell_back = true;
+                let (report, mut net) = pristine.run(limits);
+                net.timing = Some(timing);
+                (report, net)
+            }
+        }
+    }
+}
+
+/// Shard index owning global node `node`, given the `shards + 1` range
+/// bounds.
+#[inline]
+fn shard_of(node: u32, bounds: &[u32]) -> usize {
+    bounds.partition_point(|&b| b <= node) - 1
+}
+
+/// The windowed parallel pass. `Err(timing)` means the pass aborted and the
+/// caller must replay sequentially.
+fn run_windowed<P>(
+    net: Network<P>,
+    shards: u32,
+    limits: RunLimits,
+) -> Result<(NetworkReport, Network<P>), ShardTiming>
+where
+    P: Protocol + Clone + Send,
+    P::Message: Send,
+{
+    let requested = net.shards;
+    let topo = Arc::clone(&net.topo);
+    let n = topo.node_count();
+    let bounds: Vec<u32> = (0..=shards)
+        .map(|s| (u64::from(s) * u64::from(n) / u64::from(shards)) as u32)
+        .collect();
+    let mut parts = partition(net, &bounds);
+
+    let mut timing = ShardTiming {
+        shards,
+        ..ShardTiming::default()
+    };
+    let mut cum: u64 = 0;
+
+    let outcome = loop {
+        // ---- barrier: pick the next window (or the run outcome) ----
+        let mut min_next: Option<(SimTime, u64, usize)> = None;
+        let mut w_end = f64::INFINITY;
+        for (i, sh) in parts.iter().enumerate() {
+            if let Some((t, k)) = sh.sim.peek_time_key() {
+                if min_next.is_none_or(|(mt, mk, _)| (t, k) < (mt, mk)) {
+                    min_next = Some((t, k, i));
+                }
+                let cap = t.as_secs() + sh.lookahead;
+                if cap < w_end {
+                    w_end = cap;
+                }
+            }
+        }
+        // Outcome checks mirror the sequential loop's priority order:
+        // quiescence beats MaxTime beats MaxEvents (see `Simulation::run`).
+        let Some((t_min, _, i_min)) = min_next else {
+            break RunOutcome::Quiescent;
+        };
+        if let Some(max_time) = limits.max_time {
+            if t_min > max_time {
+                break RunOutcome::MaxTime;
+            }
+        }
+        if let Some(max_events) = limits.max_events {
+            // `cum > max_events` is impossible here: overshoot aborts
+            // right after the window that caused it.
+            if cum >= max_events {
+                break RunOutcome::MaxEvents;
+            }
+        }
+
+        if w_end > t_min.as_secs() {
+            // ---- parallel window: every shard runs to the horizon ----
+            timing.windows += 1;
+            let pending: usize = parts.iter().map(|sh| sh.sim.pending()).sum();
+            let stopped = if pending < SERIAL_WINDOW_THRESHOLD {
+                let mut stopped = false;
+                let mut slowest = 0u64;
+                for sh in parts.iter_mut() {
+                    let (nanos, stop) = run_window(sh, w_end, limits.max_time);
+                    slowest = slowest.max(nanos);
+                    stopped |= stop;
+                }
+                timing.critical_path_nanos += slowest;
+                stopped
+            } else {
+                let results = std::thread::scope(|scope| {
+                    let handles: Vec<_> = parts
+                        .iter_mut()
+                        .map(|sh| scope.spawn(move || run_window(sh, w_end, limits.max_time)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked"))
+                        .collect::<Vec<_>>()
+                });
+                let slowest = results.iter().map(|&(nanos, _)| nanos).max().unwrap_or(0);
+                timing.critical_path_nanos += slowest;
+                results.iter().any(|&(_, stop)| stop)
+            };
+            cum = parts.iter().map(|sh| sh.sim.events_processed()).sum();
+            if stopped {
+                // A stop inside a parallel window: sibling shards already
+                // processed events the sequential run never would have.
+                return Err(timing);
+            }
+            if let Some(max_events) = limits.max_events {
+                if cum > max_events {
+                    return Err(timing);
+                }
+            }
+            route_outboxes(&mut parts, &topo, &bounds);
+        } else {
+            // ---- zero lookahead: step the globally earliest event ----
+            timing.single_steps += 1;
+            let sh = &mut parts[i_min];
+            let started = Instant::now();
+            sh.sim.step();
+            let nanos = started.elapsed().as_nanos() as u64;
+            sh.busy_nanos += nanos;
+            timing.critical_path_nanos += nanos;
+            cum += 1;
+            if sh.sim.stop_requested() {
+                // Exact: this was the globally next event and nothing else
+                // ran after it — precisely the sequential stop state.
+                break RunOutcome::Stopped;
+            }
+            route_outboxes(&mut parts, &topo, &bounds);
+        }
+    };
+
+    timing.busy_nanos = parts.iter().map(|sh| sh.busy_nanos).collect();
+    Ok(merge(parts, outcome, cum, requested, timing))
+}
+
+/// Runs one shard up to (exclusive) the window horizon, bounded by the time
+/// limit. Returns busy nanoseconds and whether a stop was requested.
+fn run_window<P: Protocol>(
+    shard: &mut Shard<P>,
+    w_end: f64,
+    max_time: Option<SimTime>,
+) -> (u64, bool) {
+    let started = Instant::now();
+    let mut stopped = false;
+    loop {
+        match shard.sim.peek_time_key() {
+            None => break,
+            Some((t, _)) => {
+                if t.as_secs() >= w_end {
+                    break;
+                }
+                if max_time.is_some_and(|mt| t > mt) {
+                    break;
+                }
+            }
+        }
+        shard.sim.step();
+        if shard.sim.stop_requested() {
+            stopped = true;
+            break;
+        }
+    }
+    let nanos = started.elapsed().as_nanos() as u64;
+    shard.busy_nanos += nanos;
+    (nanos, stopped)
+}
+
+/// Drains every shard's outbox and schedules each cross-shard delivery into
+/// its destination shard's queue. Keys make insertion order irrelevant.
+fn route_outboxes<P: Protocol>(parts: &mut [Shard<P>], topo: &Topology, bounds: &[u32]) {
+    let mut moved = Vec::new();
+    for sh in parts.iter_mut() {
+        let outbox = &mut sh.sim.world_mut().outbox;
+        if !outbox.is_empty() {
+            moved.append(outbox);
+        }
+    }
+    for (at, key, edge, msg) in moved {
+        let dst = topo.edge(edge_id_from_raw(edge)).dst.index() as u32;
+        let dst_shard = shard_of(dst, bounds);
+        parts[dst_shard]
+            .sim
+            .prime_keyed(at, key, NetEvent::Deliver { edge, msg });
+    }
+}
+
+/// Splits a full network into per-shard partitions, each primed with its
+/// own nodes' start events and crash schedule.
+fn partition<P>(net: Network<P>, bounds: &[u32]) -> Vec<Shard<P>>
+where
+    P: Protocol + Clone,
+{
+    let shards = bounds.len() - 1;
+    let Network {
+        topo,
+        reply_ports,
+        mut nodes,
+        channels,
+        processing,
+        proc_rng,
+        fifo,
+        tick_interval,
+        counters,
+        messages_sent,
+        messages_delivered,
+        ticks,
+        trace: _,
+        faults,
+        adversary: _,
+        shards: requested,
+        shard_lo: _,
+        edge_ranks: _,
+        outbox: _,
+        timing: _,
+    } = net;
+
+    // Split the node vector into contiguous chunks, back to front.
+    let mut node_chunks: Vec<Vec<NodeSlot<P>>> = Vec::with_capacity(shards);
+    for s in (0..shards).rev() {
+        node_chunks.push(nodes.split_off(bounds[s] as usize));
+    }
+    node_chunks.reverse();
+
+    // Each channel lives with its *source* shard (send-side state: delay
+    // sampling, FIFO clamp, send sequence, drop stream); deliveries touch
+    // only the destination node, not the channel. While walking the edges,
+    // accumulate each shard's outgoing-cross-edge lookahead.
+    let proc_min = processing.min_delay();
+    let mut chan_chunks: Vec<Vec<ChannelState>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut rank_chunks: Vec<Vec<u32>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut lookahead = vec![f64::INFINITY; shards];
+    for (e, ch) in channels.into_iter().enumerate() {
+        let edge = topo.edge(edge_id_from_raw(e as u32));
+        let src_shard = shard_of(edge.src.index() as u32, bounds);
+        let dst_shard = shard_of(edge.dst.index() as u32, bounds);
+        if src_shard != dst_shard {
+            let lam = ch.delay.min_delay() * faults.min_stretch(e) + proc_min;
+            if lam < lookahead[src_shard] {
+                lookahead[src_shard] = lam;
+            }
+        }
+        chan_chunks[src_shard].push(ch);
+        rank_chunks[src_shard].push(e as u32);
+    }
+
+    let crash_windows = faults.crash_windows().to_vec();
+    let mut parts = Vec::with_capacity(shards);
+    let mut node_chunks = node_chunks.into_iter();
+    let mut chan_chunks = chan_chunks.into_iter();
+    let mut rank_chunks = rank_chunks.into_iter();
+    let mut baseline = Some((counters, messages_sent, messages_delivered, ticks));
+    for s in 0..shards {
+        let (lo, hi) = (bounds[s], bounds[s + 1]);
+        // Shard 0 inherits the pre-run accumulators (normally zero; kept
+        // so totals remain lifetime totals, exactly like `run`).
+        let (counters, sent, delivered, ticks) =
+            baseline.take().unwrap_or((BTreeMap::new(), 0, 0, 0));
+        let mut shard_faults = faults.clone();
+        if s > 0 {
+            shard_faults.stats = crate::fault::FaultStats::default();
+        }
+        let part = Network {
+            topo: Arc::clone(&topo),
+            reply_ports: Arc::clone(&reply_ports),
+            nodes: node_chunks.next().expect("one node chunk per shard"),
+            channels: chan_chunks.next().expect("one channel chunk per shard"),
+            processing: Arc::clone(&processing),
+            proc_rng: proc_rng.clone(),
+            fifo,
+            tick_interval,
+            counters,
+            messages_sent: sent,
+            messages_delivered: delivered,
+            ticks,
+            trace: None,
+            faults: shard_faults,
+            adversary: None,
+            shards: requested,
+            shard_lo: lo,
+            edge_ranks: Some(rank_chunks.next().expect("one rank chunk per shard")),
+            outbox: Vec::new(),
+            timing: None,
+        };
+        let mut sim = Simulation::new(part);
+        for i in lo..hi {
+            sim.prime_keyed(
+                SimTime::ZERO,
+                event_key(KIND_START, i, 0),
+                NetEvent::Start(i),
+            );
+        }
+        // Crash windows keep their *global* enumeration index as the key
+        // sequence so keys match the sequential run's exactly.
+        for (w_idx, w) in crash_windows.iter().enumerate() {
+            if w.node < lo || w.node >= hi {
+                continue;
+            }
+            let seq = w_idx as u64;
+            sim.prime_keyed(
+                SimTime::from_secs(w.at),
+                event_key(KIND_CRASH, w.node, seq),
+                NetEvent::Crash(w.node),
+            );
+            if let Some(recover_at) = w.recover_at {
+                sim.prime_keyed(
+                    SimTime::from_secs(recover_at),
+                    event_key(KIND_RECOVER, w.node, seq),
+                    NetEvent::Recover(w.node),
+                );
+            }
+        }
+        parts.push(Shard {
+            sim,
+            lookahead: lookahead[s],
+            lo,
+            hi,
+            busy_nanos: 0,
+        });
+    }
+    parts
+}
+
+/// Reassembles the partitions into one network plus the run report, the
+/// exact mirror of what `Network::run` produces.
+fn merge<P: Protocol>(
+    parts: Vec<Shard<P>>,
+    outcome: RunOutcome,
+    events_processed: u64,
+    requested_shards: u32,
+    timing: ShardTiming,
+) -> (NetworkReport, Network<P>) {
+    let end_time = parts
+        .iter()
+        .map(|sh| sh.sim.now())
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let mut queue_stats = QueueStats::default();
+    for sh in &parts {
+        queue_stats.merge(sh.sim.queue_stats());
+    }
+
+    let ranges: Vec<(u32, u32)> = parts.iter().map(|sh| (sh.lo, sh.hi)).collect();
+    let mut worlds: Vec<Network<P>> = parts.into_iter().map(|sh| sh.sim.into_world()).collect();
+
+    let edge_count = worlds[0].topo.edge_count();
+    let mut channel_slots: Vec<Option<ChannelState>> = (0..edge_count).map(|_| None).collect();
+    let mut nodes = Vec::with_capacity(worlds[0].topo.node_count() as usize);
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut messages_sent = 0u64;
+    let mut messages_delivered = 0u64;
+    let mut ticks = 0u64;
+
+    // Fault state: start from shard 0's runtime (it carries the baseline
+    // stats), fold in sibling stats, and adopt each node's down-state from
+    // its owner shard.
+    let mut faults: Option<FaultRuntime> = None;
+    for (s, world) in worlds.iter_mut().enumerate() {
+        nodes.append(&mut world.nodes);
+        let ranks = world
+            .edge_ranks
+            .take()
+            .expect("partitions track edge ranks");
+        for (rank, ch) in ranks.into_iter().zip(world.channels.drain(..)) {
+            channel_slots[rank as usize] = Some(ch);
+        }
+        for (name, amount) in std::mem::take(&mut world.counters) {
+            *counters.entry(name).or_insert(0) += amount;
+        }
+        messages_sent += world.messages_sent;
+        messages_delivered += world.messages_delivered;
+        ticks += world.ticks;
+        let (lo, hi) = ranges[s];
+        match faults.as_mut() {
+            None => faults = Some(world.faults.clone()),
+            Some(merged) => {
+                merged.stats.merge(&world.faults.stats);
+                merged.adopt_down(&world.faults, lo as usize, hi as usize);
+            }
+        }
+    }
+    let faults = faults.expect("at least one shard");
+    let channels: Vec<ChannelState> = channel_slots
+        .into_iter()
+        .map(|slot| slot.expect("every edge owned by exactly one shard"))
+        .collect();
+
+    let first = worlds.swap_remove(0);
+    let mut net = Network {
+        topo: first.topo,
+        reply_ports: first.reply_ports,
+        nodes,
+        channels,
+        processing: first.processing,
+        proc_rng: first.proc_rng,
+        fifo: first.fifo,
+        tick_interval: first.tick_interval,
+        counters,
+        messages_sent,
+        messages_delivered,
+        ticks,
+        trace: None,
+        faults,
+        adversary: None,
+        shards: requested_shards,
+        shard_lo: 0,
+        edge_ranks: None,
+        outbox: Vec::new(),
+        timing: Some(timing),
+    };
+
+    let report = NetworkReport {
+        outcome,
+        end_time,
+        events_processed,
+        messages_sent: net.messages_sent,
+        messages_delivered: net.messages_delivered,
+        in_flight: net.messages_sent - net.messages_delivered - net.faults.stats.dropped(),
+        ticks: net.ticks,
+        queue_stats,
+        faults: net.faults.stats,
+        adversary: AdversaryStats::default(),
+        counters: std::mem::take(&mut net.counters),
+    };
+    (report, net)
+}
+
+#[cfg(test)]
+mod tests {
+    use abe_sim::RunLimits;
+
+    use crate::delay::{Deterministic, Exponential, Uniform};
+    use crate::fault::{EdgeSelector, FaultPlan};
+    use crate::protocol::{Ctx, InPort, OutPort, Protocol};
+    use crate::{NetworkBuilder, Topology};
+
+    /// Forwards a hop-counted token; initiators inject one each.
+    #[derive(Debug, Clone)]
+    struct Relay {
+        initiator: bool,
+        hops_left: u32,
+        seen: u32,
+    }
+
+    impl Protocol for Relay {
+        type Message = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if self.initiator {
+                ctx.send(OutPort(0), self.hops_left);
+            }
+        }
+        fn on_message(&mut self, _from: InPort, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.seen += 1;
+            ctx.count("hops", 1);
+            if msg > 0 {
+                ctx.send(OutPort(0), msg - 1);
+            }
+        }
+    }
+
+    fn relay_builder(n: u32, seed: u64) -> NetworkBuilder {
+        NetworkBuilder::new(Topology::unidirectional_ring(n).unwrap()).seed(seed)
+    }
+
+    fn relay_factory(i: usize) -> Relay {
+        Relay {
+            initiator: i.is_multiple_of(3),
+            hops_left: 40,
+            seen: 0,
+        }
+    }
+
+    /// Sequential and sharded runs must produce equal reports and equal
+    /// final protocol states.
+    fn assert_equivalent(make: impl Fn() -> NetworkBuilder, limits: RunLimits) {
+        let (seq_report, seq_net) = make().build(relay_factory).unwrap().run(limits);
+        for shards in [2, 3, 8] {
+            let (par_report, par_net) = make()
+                .shards(shards)
+                .build(relay_factory)
+                .unwrap()
+                .run_sharded(limits);
+            assert_eq!(seq_report, par_report, "shards = {shards}");
+            for i in 0..seq_net.topology().node_count() as usize {
+                assert_eq!(seq_net.node(i).seen, par_net.node(i).seen, "node {i}");
+            }
+            let timing = par_net.shard_timing().expect("sharded run records timing");
+            assert_eq!(timing.shards, shards.min(seq_net.topology().node_count()));
+        }
+    }
+
+    #[test]
+    fn windowed_run_matches_sequential_with_positive_lookahead() {
+        assert_equivalent(
+            || relay_builder(24, 11).delay(Uniform::new(0.5, 1.5).unwrap()),
+            RunLimits::unbounded(),
+        );
+    }
+
+    #[test]
+    fn zero_lookahead_degenerates_to_exact_single_stepping() {
+        assert_equivalent(
+            || relay_builder(16, 5).delay(Exponential::from_mean(1.0).unwrap()),
+            RunLimits::unbounded(),
+        );
+    }
+
+    #[test]
+    fn max_time_limit_matches_sequential() {
+        assert_equivalent(
+            || relay_builder(24, 3).delay(Uniform::new(0.5, 1.5).unwrap()),
+            RunLimits::until(abe_sim::SimTime::from_secs(7.5)),
+        );
+    }
+
+    #[test]
+    fn faulty_runs_match_sequential() {
+        let plan = || {
+            FaultPlan::new()
+                .crash_recover(2, 1.0, 4.0)
+                .crash_stop(9, 3.0)
+                .drop(EdgeSelector::All, 0.1)
+                .delay_storm(EdgeSelector::All, 2.0, 5.0, 3.0)
+        };
+        assert_equivalent(
+            || {
+                relay_builder(24, 7)
+                    .delay(Uniform::new(0.5, 1.5).unwrap())
+                    .fault(plan())
+            },
+            RunLimits::unbounded(),
+        );
+    }
+
+    #[test]
+    fn deterministic_delay_ties_match_sequential() {
+        assert_equivalent(
+            || {
+                relay_builder(20, 2)
+                    .delay(Deterministic::new(1.0).unwrap())
+                    .fifo(true)
+            },
+            RunLimits::unbounded(),
+        );
+    }
+
+    #[test]
+    fn event_budget_overshoot_falls_back_to_sequential() {
+        let limits = RunLimits::events(97);
+        let (seq_report, _) = relay_builder(24, 11)
+            .delay(Uniform::new(0.5, 1.5).unwrap())
+            .build(relay_factory)
+            .unwrap()
+            .run(limits);
+        let (par_report, par_net) = relay_builder(24, 11)
+            .delay(Uniform::new(0.5, 1.5).unwrap())
+            .shards(4)
+            .build(relay_factory)
+            .unwrap()
+            .run_sharded(limits);
+        assert_eq!(seq_report, par_report);
+        assert_eq!(par_report.outcome, abe_sim::RunOutcome::MaxEvents);
+        assert_eq!(par_report.events_processed, 97);
+        // Whether this hit a window boundary exactly or fell back, the
+        // timing must say which.
+        assert!(par_net.shard_timing().is_some());
+    }
+
+    /// A protocol that stops the network mid-flight: the sharded run must
+    /// still match (via exact single-step stop or sequential fallback).
+    #[test]
+    fn stop_requests_match_sequential() {
+        #[derive(Debug, Clone)]
+        struct StopAfter {
+            initiator: bool,
+            seen: u32,
+        }
+        impl Protocol for StopAfter {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if self.initiator {
+                    ctx.send(OutPort(0), ());
+                }
+            }
+            fn on_message(&mut self, _from: InPort, _msg: (), ctx: &mut Ctx<'_, ()>) {
+                self.seen += 1;
+                if self.seen == 5 {
+                    ctx.stop_network();
+                } else {
+                    ctx.send(OutPort(0), ());
+                }
+            }
+        }
+        let make = |shards: u32| {
+            NetworkBuilder::new(Topology::unidirectional_ring(12).unwrap())
+                .delay(Uniform::new(0.5, 1.5).unwrap())
+                .seed(13)
+                .shards(shards)
+                .build(|i| StopAfter {
+                    initiator: i == 0,
+                    seen: 0,
+                })
+                .unwrap()
+        };
+        let (seq_report, _) = make(1).run(RunLimits::unbounded());
+        let (par_report, _) = make(4).run_sharded(RunLimits::unbounded());
+        assert_eq!(seq_report, par_report);
+        assert!(par_report.outcome.is_stopped());
+    }
+
+    #[test]
+    fn adversary_runs_delegate_to_sequential() {
+        use crate::adversary::{Adversary, AdversaryPlan, SendView};
+        use abe_sim::Xoshiro256PlusPlus;
+
+        /// Always proposes the full per-edge budget.
+        #[derive(Debug, Clone)]
+        struct Greedy;
+        impl Adversary for Greedy {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn delay(&mut self, send: &SendView<'_>, _rng: &mut Xoshiro256PlusPlus) -> f64 {
+                send.budget
+            }
+            fn box_clone(&self) -> Box<dyn Adversary> {
+                Box::new(self.clone())
+            }
+        }
+
+        let make = |shards: u32| {
+            relay_builder(12, 1)
+                .delay(Exponential::from_mean(1.0).unwrap())
+                .adversary(AdversaryPlan::new(1.0, Greedy).unwrap())
+                .shards(shards)
+                .build(relay_factory)
+                .unwrap()
+        };
+        let (seq_report, _) = make(1).run(RunLimits::unbounded());
+        let (par_report, par_net) = make(4).run_sharded(RunLimits::unbounded());
+        assert_eq!(seq_report, par_report);
+        // Delegated runs carry no shard timing.
+        assert!(par_net.shard_timing().is_none());
+    }
+}

@@ -51,12 +51,19 @@ pub struct RingConfig {
     pub fifo: bool,
     /// Event budget; runs exceeding it report `terminated = false`.
     pub max_events: u64,
+    /// Optional virtual-time horizon (seconds); `None` runs to the event
+    /// budget, stop, or quiescence.
+    pub max_time: Option<f64>,
     /// Ring orientation (defaults to the paper's unidirectional ring).
     pub kind: RingKind,
     /// Fault-injection plan (defaults to empty: no faults).
     pub fault: FaultPlan,
     /// Scheduling-adversary plan (defaults to empty: oblivious delays).
     pub adversary: AdversaryPlan,
+    /// Shard count for deterministic parallel execution (defaults to 1:
+    /// sequential). Any value produces an identical [`NetworkReport`];
+    /// see [`abe_core::shard`].
+    pub shards: u32,
 }
 
 impl RingConfig {
@@ -75,9 +82,11 @@ impl RingConfig {
             seed: 0,
             fifo: false,
             max_events: 5_000_000,
+            max_time: None,
             kind: RingKind::Unidirectional,
             fault: FaultPlan::new(),
             adversary: AdversaryPlan::none(),
+            shards: 1,
         }
     }
 
@@ -132,6 +141,30 @@ impl RingConfig {
         self
     }
 
+    /// Caps the run at a virtual-time horizon (seconds). Useful for
+    /// fixed-duration throughput measurements where the run should end at
+    /// `MaxTime` rather than at an election-dependent stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_time` is not finite and non-negative.
+    #[track_caller]
+    pub fn max_time(mut self, max_time: f64) -> Self {
+        assert!(
+            max_time.is_finite() && max_time >= 0.0,
+            "max_time must be finite and non-negative, got {max_time}"
+        );
+        self.max_time = Some(max_time);
+        self
+    }
+
+    /// Sets the shard count for deterministic parallel execution (see
+    /// [`abe_core::shard`]); `1` (the default) runs sequentially.
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     fn builder(&self) -> NetworkBuilder {
         let topo = match self.kind {
             RingKind::Unidirectional => Topology::unidirectional_ring(self.n),
@@ -145,10 +178,29 @@ impl RingConfig {
             .seed(self.seed)
             .fault(self.fault.clone())
             .adversary(self.adversary.clone())
+            .shards(self.shards)
     }
 
     fn limits(&self) -> RunLimits {
-        RunLimits::events(self.max_events)
+        let limits = RunLimits::events(self.max_events);
+        match self.max_time {
+            Some(t) => limits.with_max_time(abe_sim::SimTime::from_secs(t)),
+            None => limits,
+        }
+    }
+}
+
+/// Runs `net` under the config's limits, sharded when the config asks for
+/// it — the single place deciding sequential vs parallel execution.
+fn execute<P>(cfg: &RingConfig, net: abe_core::Network<P>) -> (NetworkReport, abe_core::Network<P>)
+where
+    P: abe_core::Protocol + Clone + Send,
+    P::Message: Send,
+{
+    if cfg.shards > 1 {
+        net.run_sharded(cfg.limits())
+    } else {
+        net.run(cfg.limits())
     }
 }
 
@@ -207,7 +259,7 @@ pub fn run_abe(cfg: &RingConfig, a0: f64) -> ElectionOutcome {
         .builder()
         .build(|_| AbeElection::new(cfg.n, a0).expect("a0 validated by caller"))
         .expect("ring configuration is structurally valid");
-    let (report, net) = net.run(cfg.limits());
+    let (report, net) = execute(cfg, net);
     let leaders = net
         .protocols()
         .filter(|p| p.state() == ElectionState::Leader)
@@ -227,7 +279,7 @@ pub fn run_abe_calibrated(cfg: &RingConfig, a: f64) -> ElectionOutcome {
         .builder()
         .build(|_| AbeElection::calibrated(cfg.n, a).expect("a validated by caller"))
         .expect("ring configuration is structurally valid");
-    let (report, net) = net.run(cfg.limits());
+    let (report, net) = execute(cfg, net);
     let leaders = net
         .protocols()
         .filter(|p| p.state() == ElectionState::Leader)
@@ -245,7 +297,7 @@ pub fn run_fixed(cfg: &RingConfig, a0: f64) -> ElectionOutcome {
         .builder()
         .build(|_| FixedActivation::new(cfg.n, a0).expect("a0 validated by caller"))
         .expect("ring configuration is structurally valid");
-    let (report, net) = net.run(cfg.limits());
+    let (report, net) = execute(cfg, net);
     let leaders = net
         .protocols()
         .filter(|p| p.state() == ElectionState::Leader)
@@ -259,7 +311,7 @@ pub fn run_itai_rodeh(cfg: &RingConfig) -> ElectionOutcome {
         .builder()
         .build(|_| ItaiRodeh::new(cfg.n).expect("n >= 1 was validated"))
         .expect("ring configuration is structurally valid");
-    let (report, net) = net.run(cfg.limits());
+    let (report, net) = execute(cfg, net);
     let leaders = net.protocols().filter(|p| p.is_leader()).count();
     ElectionOutcome::from_report(report, leaders)
 }
@@ -272,7 +324,7 @@ pub fn run_chang_roberts(cfg: &RingConfig) -> ElectionOutcome {
         .builder()
         .build(|i| ChangRoberts::new(ids[i]))
         .expect("ring configuration is structurally valid");
-    let (report, net) = net.run(cfg.limits());
+    let (report, net) = execute(cfg, net);
     let leaders = net.protocols().filter(|p| p.is_leader()).count();
     ElectionOutcome::from_report(report, leaders)
 }
@@ -285,7 +337,7 @@ pub fn run_peterson(cfg: &RingConfig) -> ElectionOutcome {
         .builder()
         .build(|i| Peterson::new(ids[i]))
         .expect("ring configuration is structurally valid");
-    let (report, net) = net.run(cfg.limits());
+    let (report, net) = execute(cfg, net);
     let leaders = net.protocols().filter(|p| p.is_leader()).count();
     ElectionOutcome::from_report(report, leaders)
 }
@@ -399,6 +451,36 @@ mod tests {
         assert_eq!(o.class(), OutcomeClass::Stalled);
         o.leaders = 2;
         assert_eq!(o.class(), OutcomeClass::WrongLeader);
+    }
+
+    #[test]
+    fn sharded_runs_match_sequential_for_every_runner() {
+        // Election runs end in a stop request, which the sharded kernel
+        // reproduces via exact single-stepping or sequential fallback —
+        // either way the report must be identical.
+        let base = RingConfig::new(12).seed(4);
+        let sharded = RingConfig::new(12).seed(4).shards(3);
+        let pairs = [
+            (run_abe(&base, 0.3), run_abe(&sharded, 0.3)),
+            (run_itai_rodeh(&base), run_itai_rodeh(&sharded)),
+            (run_chang_roberts(&base), run_chang_roberts(&sharded)),
+            (run_peterson(&base), run_peterson(&sharded)),
+        ];
+        for (seq, par) in pairs {
+            assert_eq!(seq.report, par.report);
+            assert_eq!(seq.leaders, par.leaders);
+        }
+    }
+
+    #[test]
+    fn max_time_horizon_caps_the_run() {
+        let cfg = RingConfig::new(8).seed(2).max_time(0.5);
+        let o = run_abe_calibrated(&cfg, 1.0);
+        // The election needs more than half a second of virtual time; the
+        // horizon cuts it off.
+        assert!(!o.terminated);
+        assert!(o.time <= 0.5);
+        assert_eq!(o.report.outcome, abe_sim::RunOutcome::MaxTime);
     }
 
     #[test]

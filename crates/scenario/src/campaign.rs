@@ -43,6 +43,9 @@ pub struct CampaignOptions {
     pub goldens_dir: PathBuf,
     /// Sweep worker threads (any value produces identical documents).
     pub threads: usize,
+    /// Parallel-kernel shards per cell run (any value produces
+    /// identical documents; 1 = sequential).
+    pub shards: u32,
     /// Rewrite goldens from this run instead of diffing against them.
     pub bless: bool,
 }
@@ -402,7 +405,7 @@ fn run_one(path: &Path, opts: &CampaignOptions) -> ScenarioResult {
     };
     let name = scenario.name.clone();
     let compiled = match compile(&scenario) {
-        Ok(c) => c,
+        Ok(c) => c.with_shards(opts.shards),
         Err(e) => return fail(&name, format!("compile failed: {e}")),
     };
     let outcome = match compiled.run(opts.threads) {
@@ -489,6 +492,14 @@ mod tests {
     }
 
     #[test]
+    fn document_is_shard_count_invariant() {
+        let s = parse(TEXT).unwrap();
+        let sequential = document(&s, &compile(&s).unwrap().run(1).unwrap());
+        let sharded = document(&s, &compile(&s).unwrap().with_shards(3).run(1).unwrap());
+        assert_eq!(sequential, sharded);
+    }
+
+    #[test]
     fn oracles_pass_on_healthy_elections_and_count_every_cell() {
         let s = parse(TEXT).unwrap();
         let outcome = compile(&s).unwrap().run(2).unwrap();
@@ -542,6 +553,7 @@ mod tests {
             scenarios_dir: scenarios.clone(),
             goldens_dir: goldens.clone(),
             threads: 2,
+            shards: 1,
             bless: false,
         };
         // 1. No golden yet: campaign fails with MissingGolden.

@@ -106,6 +106,9 @@ pub struct CompiledScenario {
     strategy_values: Vec<String>,
     /// Lowered filter: `(axis, value_idx, only_axis, only_value_idx)`.
     filter: Option<(&'static str, usize, &'static str, usize)>,
+    /// Parallel-kernel shards per cell run (1 = sequential). Documents
+    /// are shard-invariant; see `abe_core::shard`.
+    shards: u32,
 }
 
 impl std::fmt::Debug for CompiledScenario {
@@ -412,6 +415,7 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
         fixed_kind,
         strategy_values,
         filter,
+        shards: 1,
     })
 }
 
@@ -455,6 +459,16 @@ impl CompiledScenario {
     /// The validated scenario this compiles.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// Runs every cell on the deterministic parallel kernel with
+    /// `shards` shards (clamped to at least 1). The emitted document is
+    /// byte-identical to the sequential run for any shard count — the
+    /// campaign CI gate relies on exactly that.
+    #[must_use]
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Builds the lowered sweep specification (axes in declaration
@@ -528,7 +542,8 @@ impl CompiledScenario {
             .delay(Arc::clone(&self.delay))
             .seed(cell.seed())
             .kind(self.cell_kind(cell))
-            .max_events(self.scenario.max_events);
+            .max_events(self.scenario.max_events)
+            .shards(self.shards);
         if let Some(fault) = &self.scenario.fault {
             let events = match fault.events {
                 Bind::Fixed(v) => v,

@@ -5,13 +5,16 @@
 //! * **differential validation** — the property suite drives random
 //!   schedule/cancel/pop sequences through both this queue and the
 //!   calendar [`EventQueue`](super::EventQueue) and asserts identical
-//!   behaviour (pop order, peek times, stats, cancel results);
+//!   behaviour (pop order, peek times, live stats, cancel results — the
+//!   dead-entry skim counters are structure-dependent and excluded);
 //! * **the recorded perf baseline** — the `abe-perf` harness measures the
 //!   queue-churn suite against both implementations, so every
 //!   `BENCH_kernel.json` documents the speedup of the indexed queue over
 //!   this one.
 //!
-//! Events are ordered by `(time, sequence)`; cancellation is *lazy*:
+//! Events are ordered by `(time, key, sequence)` — with plain
+//! [`HeapQueue::schedule`] using the sequence as the key, exactly like the
+//! calendar queue; cancellation is *lazy*:
 //! [`HeapQueue::cancel`] removes the sequence number from a liveness
 //! [`HashSet`] and stale heap entries (tombstones) are skimmed off the top
 //! so the top entry is always live. Every operation therefore pays a hash
@@ -27,6 +30,7 @@ use crate::time::SimTime;
 
 struct Entry<E> {
     time: SimTime,
+    key: u64,
     seq: u64,
     event: E,
 }
@@ -47,10 +51,11 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap and we want the earliest event
-        // (smallest time, then smallest sequence) on top.
+        // (smallest time, then smallest key, then smallest sequence) on top.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -59,7 +64,7 @@ impl<E> Ord for Entry<E> {
 /// hashed liveness set, with lazy (tombstone) cancellation.
 ///
 /// Behaviourally identical to [`EventQueue`](super::EventQueue) — same pop
-/// order, same stats, same cancel semantics — but structurally the
+/// order, same live stats, same cancel semantics — but structurally the
 /// pre-refactor design. See the module docs for why it is kept.
 ///
 /// # Examples
@@ -103,9 +108,22 @@ impl<E> HeapQueue<E> {
     /// Schedules `event` to fire at absolute time `time`: `O(log n)`
     /// amortised (heap push) plus one hash insert.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        let key = self.next_seq;
+        self.schedule_keyed(time, key, event)
+    }
+
+    /// Schedules `event` at `time` with an explicit ordering `key` —
+    /// same contract as
+    /// [`EventQueue::schedule_keyed`](super::EventQueue::schedule_keyed).
+    pub fn schedule_keyed(&mut self, time: SimTime, key: u64, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            key,
+            seq,
+            event,
+        });
         self.pending.insert(seq);
         self.stats.scheduled += 1;
         EventToken { seq, slot: 0 }
@@ -153,13 +171,23 @@ impl<E> HeapQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Drops cancelled entries sitting on top of the heap.
+    /// `(time, key)` of the earliest live event without removing it —
+    /// same contract as
+    /// [`EventQueue::peek_time_key`](super::EventQueue::peek_time_key).
+    pub fn peek_time_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|e| (e.time, e.key))
+    }
+
+    /// Drops cancelled entries sitting on top of the heap. Each skimmed
+    /// tombstone counts toward `stats.front_dead` (the heap design has no
+    /// far tier, so `far_dead` stays zero).
     fn skim_stale(&mut self) {
         while let Some(top) = self.heap.peek() {
             if self.pending.contains(&top.seq) {
                 break;
             }
             self.heap.pop();
+            self.stats.front_dead += 1;
         }
     }
 

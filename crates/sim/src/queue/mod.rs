@@ -1,9 +1,18 @@
 //! Deterministic pending-event queues.
 //!
-//! Events are ordered by `(time, sequence)` where the sequence number is a
-//! monotone counter assigned at scheduling time. Two events scheduled for
-//! the same instant therefore fire in scheduling order, which — together
-//! with seeded RNG streams — makes entire simulations bit-reproducible.
+//! Events are ordered by `(time, key, sequence)` where the *key* is a
+//! caller-chosen `u64` ordering rank and the sequence number is a monotone
+//! counter assigned at scheduling time. [`schedule`](EventQueue::schedule)
+//! uses the sequence number itself as the key, so plain callers get the
+//! classic behaviour: two events scheduled for the same instant fire in
+//! scheduling order, which — together with seeded RNG streams — makes
+//! entire simulations bit-reproducible.
+//!
+//! [`schedule_keyed`](EventQueue::schedule_keyed) exposes the key directly
+//! for callers that need an ordering *independent of insertion order* —
+//! the sharded network kernel derives keys from stable entity ids so that
+//! merging per-shard event streams reproduces the sequential order exactly,
+//! no matter which shard scheduled first.
 //!
 //! Two implementations share that contract:
 //!
@@ -15,9 +24,11 @@
 //!   retained as the differential-testing oracle and the recorded perf
 //!   baseline (see [`heap`]'s module docs).
 //!
-//! Both pop the exact same `(time, sequence)` order for the same operation
-//! sequence and report identical [`QueueStats`], so swapping one for the
-//! other cannot change a simulation's results — only its wall clock.
+//! Both pop the exact same `(time, key, sequence)` order for the same
+//! operation sequence and report identical live [`QueueStats`] counters, so
+//! swapping one for the other cannot change a simulation's results — only
+//! its wall clock. (The dead-entry skim counters differ by design: the two
+//! designs discard cancelled entries on different schedules.)
 //!
 //! # The top-is-live invariant
 //!
@@ -72,6 +83,14 @@ pub struct QueueStats {
     pub cancelled: u64,
     /// Events popped (delivered to the world).
     pub popped: u64,
+    /// Cancelled entries skimmed off the front region (dispatch stack or
+    /// overlay top). Structure-dependent: the two queue implementations
+    /// (and different shardings of the same run) skim on different
+    /// schedules, so this is telemetry, not part of the logical state.
+    pub front_dead: u64,
+    /// Cancelled entries skimmed off the far-future heap. Structure-
+    /// dependent, like [`front_dead`](Self::front_dead).
+    pub far_dead: u64,
 }
 
 impl QueueStats {
@@ -86,11 +105,48 @@ impl QueueStats {
     ///     scheduled: 10,
     ///     cancelled: 2,
     ///     popped: 5,
+    ///     ..QueueStats::default()
     /// };
     /// assert_eq!(stats.live(), 3);
     /// ```
     pub fn live(&self) -> u64 {
         self.scheduled - self.cancelled - self.popped
+    }
+
+    /// Folds another queue's counters into this one — **all five** fields,
+    /// including the dead-entry skim counters, so merged per-shard
+    /// telemetry balances (`live()` of a merge equals the sum of the
+    /// parts' `live()`, and skimmed entries are never silently lost).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use abe_sim::QueueStats;
+    ///
+    /// let mut a = QueueStats {
+    ///     scheduled: 10,
+    ///     cancelled: 2,
+    ///     popped: 5,
+    ///     front_dead: 1,
+    ///     far_dead: 1,
+    /// };
+    /// let b = QueueStats {
+    ///     scheduled: 4,
+    ///     cancelled: 1,
+    ///     popped: 3,
+    ///     front_dead: 1,
+    ///     far_dead: 0,
+    /// };
+    /// a.merge(b);
+    /// assert_eq!(a.live(), 3 + 0);
+    /// assert_eq!(a.front_dead, 2);
+    /// ```
+    pub fn merge(&mut self, other: QueueStats) {
+        self.scheduled += other.scheduled;
+        self.cancelled += other.cancelled;
+        self.popped += other.popped;
+        self.front_dead += other.front_dead;
+        self.far_dead += other.far_dead;
     }
 }
 
@@ -122,6 +178,7 @@ enum Loc {
 
 /// One arena slot: the event payload plus the keys and location needed to
 /// find and order it without hashing.
+#[derive(Clone)]
 struct Slot<E> {
     time: SimTime,
     seq: u64,
@@ -130,13 +187,14 @@ struct Slot<E> {
 }
 
 /// An entry of every region container (buckets, dispatch stack, overlay
-/// and far heaps): the ordering key *inline* plus the arena slot, so
+/// and far heaps): the ordering keys *inline* plus the arena slot, so
 /// comparisons and bucket sorts never dereference the arena. Ordered
-/// **reversed** on `(time, seq)` so `BinaryHeap` (a max-heap) yields the
-/// earliest event and an ascending sort puts the minimum last.
+/// **reversed** on `(time, key, seq)` so `BinaryHeap` (a max-heap) yields
+/// the earliest event and an ascending sort puts the minimum last.
 #[derive(Clone, Copy)]
 struct TierEntry {
     time: SimTime,
+    key: u64,
     seq: u64,
     slot: u32,
 }
@@ -159,12 +217,16 @@ impl Ord for TierEntry {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
-/// A priority queue of future events ordered by `(time, sequence)`,
-/// implemented as an **indexed two-tier calendar queue**.
+/// A priority queue of future events ordered by `(time, key, sequence)`,
+/// implemented as an **indexed two-tier calendar queue**. Plain
+/// [`schedule`](Self::schedule) uses the sequence as the key, giving the
+/// classic schedule-order tie-break; [`schedule_keyed`](Self::schedule_keyed)
+/// lets the caller impose an insertion-order-independent rank.
 ///
 /// # Structure
 ///
@@ -234,6 +296,7 @@ impl Ord for TierEntry {
 /// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "later")));
 /// assert!(q.is_empty());
 /// ```
+#[derive(Clone)]
 pub struct EventQueue<E> {
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
@@ -395,6 +458,7 @@ impl<E> EventQueue<E> {
                     self.far.pop();
                     self.release(slot);
                     self.far_dead -= 1;
+                    self.stats.far_dead += 1;
                 }
                 _ => break,
             }
@@ -412,6 +476,7 @@ impl<E> EventQueue<E> {
                     self.dispatch.pop();
                     self.release(slot);
                     self.front_dead -= 1;
+                    self.stats.front_dead += 1;
                 } else {
                     break;
                 }
@@ -422,6 +487,7 @@ impl<E> EventQueue<E> {
                     self.overlay.pop();
                     self.release(slot);
                     self.front_dead -= 1;
+                    self.stats.front_dead += 1;
                 } else {
                     break;
                 }
@@ -519,12 +585,28 @@ impl<E> EventQueue<E> {
         self.dispatch.sort_unstable_by(TierEntry::cmp);
     }
 
-    /// Schedules `event` to fire at absolute time `time`.
+    /// Schedules `event` to fire at absolute time `time`, with same-time
+    /// ties broken by scheduling order.
     ///
     /// Returns a token that can later be passed to [`Self::cancel`].
     /// `O(1)` when the time lands in a calendar bucket (the common case);
     /// `O(log n)` when it lands in the overlay or far heap.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        let key = self.next_seq;
+        self.schedule_keyed(time, key, event)
+    }
+
+    /// Schedules `event` at `time` with an explicit ordering `key`:
+    /// same-time events pop in ascending key order regardless of the
+    /// order they were scheduled in (equal keys fall back to scheduling
+    /// order). This is what makes sharded execution order-stable: keys
+    /// derived from stable entity ids produce the same dispatch order no
+    /// matter which shard scheduled an event first.
+    ///
+    /// Key order is guaranteed for times below the calendar's tick clamp
+    /// (≈3·10¹⁷ virtual seconds at the default width); beyond it same-time
+    /// ties can degrade to scheduling order.
+    pub fn schedule_keyed(&mut self, time: SimTime, key: u64, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
         let slot_id = match self.free.pop() {
@@ -552,6 +634,7 @@ impl<E> EventQueue<E> {
             self.slots[slot_id as usize].loc = Loc::Front;
             self.overlay.push(TierEntry {
                 time,
+                key,
                 seq,
                 slot: slot_id,
             });
@@ -564,6 +647,7 @@ impl<E> EventQueue<E> {
                 self.place_in_bucket(
                     TierEntry {
                         time,
+                        key,
                         seq,
                         slot: slot_id,
                     },
@@ -574,6 +658,7 @@ impl<E> EventQueue<E> {
                 self.slots[slot_id as usize].loc = Loc::Far;
                 self.far.push(TierEntry {
                     time,
+                    key,
                     seq,
                     slot: slot_id,
                 });
@@ -653,7 +738,7 @@ impl<E> EventQueue<E> {
             (None, None) => return None,
             (Some(_), None) => false,
             (None, Some(_)) => true,
-            (Some(d), Some(o)) => (o.time, o.seq) < (d.time, d.seq),
+            (Some(d), Some(o)) => (o.time, o.key, o.seq) < (d.time, d.key, d.seq),
         };
         let slot_id = if take_overlay {
             self.overlay.pop().expect("peeked entry exists").slot
@@ -683,6 +768,20 @@ impl<E> EventQueue<E> {
             (Some(d), Some(o)) => Some(d.min(o)),
             (d, o) => d.or(o),
         }
+    }
+
+    /// `(time, key)` of the earliest live event without removing it.
+    /// `O(1)`, by the same front-holds-the-minimum invariant as
+    /// [`peek_time`](Self::peek_time). The sharded kernel uses this to
+    /// pick the globally earliest event across per-shard queues.
+    pub fn peek_time_key(&self) -> Option<(SimTime, u64)> {
+        let dispatch = self.dispatch.last().map(|e| (e.time, e.key, e.seq));
+        let overlay = self.overlay.peek().map(|e| (e.time, e.key, e.seq));
+        let min = match (dispatch, overlay) {
+            (Some(d), Some(o)) => Some(d.min(o)),
+            (d, o) => d.or(o),
+        };
+        min.map(|(time, key, _)| (time, key))
     }
 
     /// Number of live (non-cancelled) pending events.
@@ -763,6 +862,99 @@ mod tests {
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyed_ties_break_by_key_not_schedule_order() {
+        let mut q = EventQueue::new();
+        // Schedule in descending key order; pops must come back ascending.
+        for key in (0..100u64).rev() {
+            q.schedule_keyed(t(1.0), key, key);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyed_order_stable_across_interleavings() {
+        // Two insertion orders of the same (time, key) set pop identically,
+        // including keys landing in the overlay after a promotion.
+        let evs: Vec<(f64, u64)> = (0..200)
+            .map(|i| ((i % 7) as f64 * 3.7, (i * 31 % 200) as u64))
+            .collect();
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for &(time, key) in &evs {
+            a.schedule_keyed(t(time), key, (time, key));
+        }
+        for &(time, key) in evs.iter().rev() {
+            b.schedule_keyed(t(time), key, (time, key));
+        }
+        // Drain interleaved with fresh same-time schedules to exercise the
+        // overlay path on both queues.
+        for i in 0..50u64 {
+            let pa = a.pop().unwrap();
+            let pb = b.pop().unwrap();
+            assert_eq!(pa, pb, "diverged at pop {i}");
+            let extra = (pa.0.as_secs(), 1000 + i);
+            a.schedule_keyed(pa.0, 1000 + i, extra);
+            b.schedule_keyed(pa.0, 1000 + i, extra);
+        }
+        let ra: Vec<_> = std::iter::from_fn(|| a.pop()).collect();
+        let rb: Vec<_> = std::iter::from_fn(|| b.pop()).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn peek_time_key_tracks_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time_key(), None);
+        q.schedule_keyed(t(2.0), 7, "late");
+        q.schedule_keyed(t(1.0), 9, "early");
+        assert_eq!(q.peek_time_key(), Some((t(1.0), 9)));
+        q.schedule_keyed(t(1.0), 3, "earlier-key");
+        assert_eq!(q.peek_time_key(), Some((t(1.0), 3)));
+        q.pop();
+        assert_eq!(q.peek_time_key(), Some((t(1.0), 9)));
+    }
+
+    #[test]
+    fn skim_counters_account_for_cancelled_entries() {
+        let mut q = EventQueue::new();
+        // Spread events past the calendar window (16 s at the default
+        // width) so the last ones land in the far heap.
+        let toks: Vec<_> = (0..10)
+            .map(|i| q.schedule(t(1.0 + 3.0 * i as f64), i))
+            .collect();
+        // Cancel a front event (the current minimum) and a far one; both
+        // are lazy (marked dead, skimmed later) — bucket cancellations are
+        // immediate and never hit the skim counters.
+        assert!(q.cancel(toks[0]));
+        assert!(q.cancel(toks[9]));
+        // Drain; every cancelled entry must eventually be skimmed and
+        // counted in exactly one of the dead counters.
+        while q.pop().is_some() {}
+        let stats = q.stats();
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(stats.front_dead + stats.far_dead, 2);
+        assert_eq!(stats.live(), 0);
+    }
+
+    #[test]
+    fn cloned_queue_replays_identically() {
+        let mut q = EventQueue::new();
+        for i in 0..64u64 {
+            q.schedule_keyed(t((i % 9) as f64), i, i);
+        }
+        let mut c = q.clone();
+        loop {
+            let (a, b) = (q.pop(), c.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(q.stats(), c.stats());
     }
 
     #[test]

@@ -75,6 +75,23 @@ impl<'a, E> StepCtx<'a, E> {
         self.queue.schedule(at, event)
     }
 
+    /// Schedules an event at an absolute time with an explicit ordering
+    /// key (see [`EventQueue::schedule_keyed`]): same-time events fire in
+    /// ascending key order regardless of scheduling order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past (before [`Self::now`]).
+    #[track_caller]
+    pub fn schedule_at_keyed(&mut self, at: SimTime, key: u64, event: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {now}",
+            now = self.now
+        );
+        self.queue.schedule_keyed(at, key, event)
+    }
+
     /// Schedules an event `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventToken {
         self.queue.schedule(self.now + delay, event)
@@ -231,6 +248,24 @@ impl<W: World> Simulation<W> {
     /// Schedules an initial event before the run starts.
     pub fn prime(&mut self, at: SimTime, event: W::Event) -> EventToken {
         self.queue.schedule(at, event)
+    }
+
+    /// Schedules an initial event with an explicit ordering key (see
+    /// [`EventQueue::schedule_keyed`]).
+    pub fn prime_keyed(&mut self, at: SimTime, key: u64, event: W::Event) -> EventToken {
+        self.queue.schedule_keyed(at, key, event)
+    }
+
+    /// `(time, key)` of the earliest pending event, or `None` when the
+    /// queue is empty. Drivers that interleave several simulations (the
+    /// sharded network kernel) use this to pick the globally next event.
+    pub fn peek_time_key(&self) -> Option<(SimTime, u64)> {
+        self.queue.peek_time_key()
+    }
+
+    /// Lifetime activity counters of the underlying queue.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Current virtual time (timestamp of the last processed event).

@@ -2,14 +2,24 @@
 //! the baseline [`HeapQueue`].
 //!
 //! The two implementations must be observationally identical — same pop
-//! order and payloads, same `peek_time`, same `cancel` results, same
-//! [`QueueStats`] — under arbitrary interleavings of schedule/cancel/pop.
+//! order and payloads, same `peek_time`, same `cancel` results, same live
+//! [`QueueStats`] counters — under arbitrary interleavings of
+//! schedule/cancel/pop. (The dead-entry skim counters are structure-
+//! dependent: the two designs discard cancelled entries on different
+//! schedules, so only the scheduled/cancelled/popped triple is compared.)
 //! That equivalence is what makes the kernel's queue swap invisible to
 //! every simulation (and byte-identical in all `sweep-v1` JSON).
 
 use proptest::prelude::*;
 
 use abe_sim::{EventQueue, HeapQueue, SimTime, SplitMix64};
+
+/// The structure-independent projection of [`QueueStats`]: everything but
+/// the dead-entry skim counters, which legitimately differ between the
+/// calendar and heap designs.
+fn live_stats(stats: abe_sim::QueueStats) -> (u64, u64, u64, u64) {
+    (stats.scheduled, stats.cancelled, stats.popped, stats.live())
+}
 
 /// Operations replayed against both queues in lockstep.
 #[derive(Debug, Clone)]
@@ -82,7 +92,11 @@ fn assert_equivalent(ops: &[Op]) {
             "peek diverged at op {i}"
         );
         assert_eq!(calendar.len(), heap.len(), "len diverged at op {i}");
-        assert_eq!(calendar.stats(), heap.stats(), "stats diverged at op {i}");
+        assert_eq!(
+            live_stats(calendar.stats()),
+            live_stats(heap.stats()),
+            "stats diverged at op {i}"
+        );
     }
     // Drain both: the remaining pop sequences must match exactly.
     loop {
@@ -92,7 +106,7 @@ fn assert_equivalent(ops: &[Op]) {
             break;
         }
     }
-    assert_eq!(calendar.stats(), heap.stats());
+    assert_eq!(live_stats(calendar.stats()), live_stats(heap.stats()));
 }
 
 proptest! {
@@ -153,7 +167,7 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(calendar.stats(), heap.stats());
+        prop_assert_eq!(live_stats(calendar.stats()), live_stats(heap.stats()));
     }
 }
 
@@ -196,7 +210,7 @@ fn long_churn_run_is_equivalent() {
         debug_assert_eq!(calendar.peek_time(), heap.peek_time());
     }
     assert_eq!(calendar.len(), heap.len());
-    assert_eq!(calendar.stats(), heap.stats());
+    assert_eq!(live_stats(calendar.stats()), live_stats(heap.stats()));
     loop {
         let (a, b) = (calendar.pop(), heap.pop());
         assert_eq!(a, b);
