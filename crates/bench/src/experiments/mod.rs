@@ -14,7 +14,9 @@ pub mod e15_partitions;
 pub mod e16_scaling;
 pub mod e17_adversary;
 pub mod e18_reorder_sync;
+pub mod e19_benor;
 pub mod e1_messages;
+pub mod e20_brb;
 pub mod e2_time;
 pub mod e3_activation;
 pub mod e4_baselines;

@@ -276,6 +276,16 @@ pub fn registry() -> Vec<Experiment> {
             about: "synchroniser pulse skew under adversarial FIFO violation",
             run: experiments::e18_reorder_sync::run,
         },
+        Experiment {
+            id: "e19",
+            about: "Ben-Or consensus under budgeted scheduling adversaries",
+            run: experiments::e19_benor::run,
+        },
+        Experiment {
+            id: "e20",
+            about: "reliable broadcast latency and messages vs fault budget and churn",
+            run: experiments::e20_brb::run,
+        },
     ]
 }
 
@@ -288,10 +298,10 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
         let mut sorted = ids.clone();
         sorted.dedup();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 20);
         assert_eq!(ids.len(), sorted.len());
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids[17], "e18");
+        assert_eq!(ids[19], "e20");
     }
 
     #[test]

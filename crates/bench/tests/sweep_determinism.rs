@@ -324,6 +324,60 @@ mod adversary_regression {
     }
 }
 
+mod consensus_regression {
+    //! Consensus-layer determinism regressions: Ben-Or's coin flips come
+    //! from dedicated per-node `SeedStream` children, so e19 and e20 must
+    //! stay bit-identical across worker counts like every other
+    //! experiment — randomized consensus included.
+
+    use super::*;
+    use abe_bench::experiments::{e19_benor, e20_brb};
+
+    #[test]
+    fn e19_smoke_is_byte_identical_across_thread_counts() {
+        let single = e19_benor::run(&RunCtx::new(Scale::Smoke, 1));
+        let parallel = e19_benor::run(&RunCtx::new(Scale::Smoke, 8));
+        assert_eq!(single.sweep.metrics_json(), parallel.sweep.metrics_json());
+        assert_eq!(single.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(single.findings, parallel.findings);
+    }
+
+    #[test]
+    fn e20_smoke_is_byte_identical_across_thread_counts() {
+        let single = e20_brb::run(&RunCtx::new(Scale::Smoke, 1));
+        let parallel = e20_brb::run(&RunCtx::new(Scale::Smoke, 8));
+        assert_eq!(single.sweep.metrics_json(), parallel.sweep.metrics_json());
+        assert_eq!(single.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(single.findings, parallel.findings);
+    }
+
+    #[test]
+    fn consensus_experiment_documents_are_valid_json_with_class_indicators() {
+        for (report, id) in [
+            (e19_benor::run(&RunCtx::new(Scale::Smoke, 2)), "e19"),
+            (e20_brb::run(&RunCtx::new(Scale::Smoke, 2)), "e20"),
+        ] {
+            let doc = abe_bench::sweep::json::document(&report, "smoke");
+            assert_valid_json(&doc);
+            assert!(doc.contains(&format!("\"experiment\":\"{id}\"")));
+            assert!(
+                doc.contains("\"agreement_violation\""),
+                "{id} lacks safety indicators"
+            );
+            assert!(doc.contains("\"validity_violation\""));
+            assert!(doc.contains("\"decided\""));
+            assert!(!report.sweep.cells.is_empty());
+        }
+        // e19's adversarial cells carry the budget auditor's telemetry.
+        let doc = abe_bench::sweep::json::document(
+            &e19_benor::run(&RunCtx::new(Scale::Smoke, 2)),
+            "smoke",
+        );
+        assert!(doc.contains("\"adv_max_edge_mean\""));
+        assert!(doc.contains("\"adv_violations\""));
+    }
+}
+
 mod scenario_differential {
     //! The declarative corpus must be *the same experiments as data*:
     //! compiling `scenarios/e1_messages.abes` and running it must
@@ -379,6 +433,18 @@ mod scenario_differential {
             declarative.metrics_json(),
             handwritten.sweep.metrics_json(),
             "e17 scenario diverges from e17_adversary.rs"
+        );
+    }
+
+    #[test]
+    fn declarative_e19_is_byte_identical_to_the_handwritten_experiment() {
+        let compiled = compile(&corpus_scenario("e19_benor.abes")).unwrap();
+        let declarative = compiled.run(4).unwrap();
+        let handwritten = experiments::e19_benor::run(&RunCtx::new(Scale::Smoke, 4));
+        assert_eq!(
+            declarative.metrics_json(),
+            handwritten.sweep.metrics_json(),
+            "e19 scenario diverges from e19_benor.rs"
         );
     }
 

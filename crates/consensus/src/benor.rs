@@ -1,0 +1,367 @@
+//! Ben-Or randomized binary consensus (crash model, `n > 2f`).
+//!
+//! The classic two-phase round structure from Ben-Or's 1983 protocol:
+//!
+//! * **Report phase** — every node broadcasts its current estimate and
+//!   waits for `n − f` round-`r` reports. If *more than `n/2`* of the
+//!   reports it saw carry the same value `w`, it proposes `w`; otherwise
+//!   it proposes `⊥`.
+//! * **Proposal phase** — every node broadcasts its proposal and waits
+//!   for `n − f` round-`r` proposals. At least `f + 1` proposals for `w`
+//!   → decide `w`; at least one proposal for `w` → adopt `w` as the next
+//!   estimate; only `⊥` → flip a private coin for the next estimate.
+//!
+//! Because a non-`⊥` proposal requires a strict majority of *all* `n`
+//! reports, two different values can never both be proposed in one round
+//! — that is the agreement argument, and the safety-oracle suite checks
+//! it empirically on every run.
+//!
+//! A decided node floods a `Decide` message and halts; receivers adopt
+//! the decision, relay it once, and halt too, so runs quiesce instead of
+//! circulating rounds forever. Under crash churn more than `f`
+//! simultaneous down-nodes can starve the `n − f` quorum — the run then
+//! goes silent and is classified [`Stalled`](abe_core::fault::OutcomeClass::Stalled),
+//! never incorrect.
+//!
+//! **Determinism.** The phase coin is *not* drawn from the engine RNG:
+//! each node owns a dedicated [`SeedStream`](abe_sim::SeedStream) child
+//! stream (domain `"benor-coin"`, index = node id) handed over at
+//! construction, so coin flips depend only on (seed, node, flip index)
+//! and runs stay bit-identical at any `--threads`/`--shards` setting.
+
+use std::collections::BTreeMap;
+
+use abe_core::{Ctx, InPort, OutPort, Protocol};
+use abe_sim::Xoshiro256PlusPlus;
+
+/// Domain label for the per-node coin streams (see [`BenOr::new`]).
+pub const COIN_DOMAIN: &str = "benor-coin";
+
+/// Messages of the Ben-Or protocol. Senders identify themselves in the
+/// payload (the network is anonymous; ports don't name peers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenOrMsg {
+    /// Phase-1 estimate broadcast for `round`.
+    Report {
+        /// Round the estimate belongs to.
+        round: u64,
+        /// Reporting node.
+        sender: u32,
+        /// The estimate.
+        value: bool,
+    },
+    /// Phase-2 proposal broadcast for `round` (`None` encodes `⊥`).
+    Proposal {
+        /// Round the proposal belongs to.
+        round: u64,
+        /// Proposing node.
+        sender: u32,
+        /// Majority value, or `None` when no majority was seen.
+        value: Option<bool>,
+    },
+    /// Decision flood: adopt `value`, relay once, halt.
+    Decide {
+        /// The decided value.
+        value: bool,
+    },
+}
+
+/// Distinct-sender tally of one round's reports or proposals.
+#[derive(Debug, Clone, Default)]
+struct Tally {
+    seen: Vec<bool>,
+    zeros: u32,
+    ones: u32,
+    bots: u32,
+}
+
+impl Tally {
+    fn record(&mut self, n: u32, sender: u32, value: Option<bool>) {
+        if self.seen.is_empty() {
+            self.seen = vec![false; n as usize];
+        }
+        if self.seen[sender as usize] {
+            return; // duplicate sender for this round/type: ignore
+        }
+        self.seen[sender as usize] = true;
+        match value {
+            Some(true) => self.ones += 1,
+            Some(false) => self.zeros += 1,
+            None => self.bots += 1,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.zeros + self.ones + self.bots
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Report,
+    Proposal,
+}
+
+/// One node of the Ben-Or binary consensus protocol.
+#[derive(Debug, Clone)]
+pub struct BenOr {
+    id: u32,
+    n: u32,
+    f: u32,
+    input: bool,
+    est: bool,
+    round: u64,
+    phase: Phase,
+    decided: Option<bool>,
+    decide_events: u64,
+    coin_flips: u64,
+    halted: bool,
+    coin: Xoshiro256PlusPlus,
+    /// Per-round report tallies for rounds ≥ the current one (earlier
+    /// rounds are pruned — their thresholds already fired or expired).
+    reports: BTreeMap<u64, Tally>,
+    proposals: BTreeMap<u64, Tally>,
+}
+
+impl BenOr {
+    /// A node with identity `id` (of `n`), crash budget `f`, initial
+    /// estimate `input`, and a dedicated coin stream — derive it as
+    /// `SeedStream::new(seed).stream(COIN_DOMAIN, id)` so flips are keyed
+    /// by entity, never by execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `id < n` and `n > 2f` (the crash-consensus bound).
+    pub fn new(id: u32, n: u32, f: u32, input: bool, coin: Xoshiro256PlusPlus) -> Self {
+        assert!(id < n, "node id {id} out of range for n={n}");
+        assert!(n > 2 * f, "Ben-Or requires n > 2f (got n={n}, f={f})");
+        Self {
+            id,
+            n,
+            f,
+            input,
+            est: input,
+            round: 1,
+            phase: Phase::Report,
+            decided: None,
+            decide_events: 0,
+            coin_flips: 0,
+            halted: false,
+            coin,
+            reports: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+        }
+    }
+
+    /// This node's input bit.
+    pub fn input(&self) -> bool {
+        self.input
+    }
+
+    /// The decision, once taken.
+    pub fn decision(&self) -> Option<bool> {
+        self.decided
+    }
+
+    /// The round the node was in when the run ended (1-based).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// How many times this node executed a decide step — the integrity
+    /// oracle asserts this never exceeds 1.
+    pub fn decide_events(&self) -> u64 {
+        self.decide_events
+    }
+
+    /// Coin flips drawn from the dedicated stream.
+    pub fn coin_flips(&self) -> u64 {
+        self.coin_flips
+    }
+
+    fn broadcast(&self, ctx: &mut Ctx<'_, BenOrMsg>, msg: BenOrMsg) {
+        for port in 0..ctx.out_degree() {
+            ctx.send(OutPort(port), msg);
+        }
+    }
+
+    fn quorum(&self) -> u32 {
+        self.n - self.f
+    }
+
+    fn prune(&mut self) {
+        let round = self.round;
+        self.reports.retain(|&r, _| r >= round);
+        self.proposals.retain(|&r, _| r >= round);
+    }
+
+    fn decide(&mut self, value: bool, ctx: &mut Ctx<'_, BenOrMsg>) {
+        if self.decided.is_none() {
+            self.decided = Some(value);
+            self.decide_events += 1;
+            ctx.count("benor_decided", 1);
+        }
+        if !self.halted {
+            self.halted = true;
+            self.broadcast(ctx, BenOrMsg::Decide { value });
+            self.reports.clear();
+            self.proposals.clear();
+        }
+    }
+
+    /// Fires every threshold the buffered tallies already satisfy; loops
+    /// because advancing a phase can immediately satisfy the next one
+    /// from messages that arrived early.
+    fn try_advance(&mut self, ctx: &mut Ctx<'_, BenOrMsg>) {
+        while !self.halted {
+            match self.phase {
+                Phase::Report => {
+                    let Some(t) = self.reports.get(&self.round) else {
+                        return;
+                    };
+                    if t.total() < self.quorum() {
+                        return;
+                    }
+                    // A value may be proposed only on a strict majority of
+                    // all n possible reports — two different non-⊥
+                    // proposals in one round are therefore impossible.
+                    let value = if u64::from(t.ones) * 2 > u64::from(self.n) {
+                        Some(true)
+                    } else if u64::from(t.zeros) * 2 > u64::from(self.n) {
+                        Some(false)
+                    } else {
+                        None
+                    };
+                    self.phase = Phase::Proposal;
+                    self.broadcast(
+                        ctx,
+                        BenOrMsg::Proposal {
+                            round: self.round,
+                            sender: self.id,
+                            value,
+                        },
+                    );
+                    let (n, id) = (self.n, self.id);
+                    self.proposals
+                        .entry(self.round)
+                        .or_default()
+                        .record(n, id, value);
+                }
+                Phase::Proposal => {
+                    let Some(t) = self.proposals.get(&self.round) else {
+                        return;
+                    };
+                    if t.total() < self.quorum() {
+                        return;
+                    }
+                    let (ones, zeros) = (t.ones, t.zeros);
+                    if ones > self.f {
+                        self.decide(true, ctx);
+                        return;
+                    }
+                    if zeros > self.f {
+                        self.decide(false, ctx);
+                        return;
+                    }
+                    self.est = if ones > 0 {
+                        true
+                    } else if zeros > 0 {
+                        false
+                    } else {
+                        self.coin_flips += 1;
+                        ctx.count("benor_coin_flips", 1);
+                        self.coin.uniform_f64() < 0.5
+                    };
+                    self.round += 1;
+                    self.phase = Phase::Report;
+                    self.prune();
+                    let (round, id, est) = (self.round, self.id, self.est);
+                    self.broadcast(
+                        ctx,
+                        BenOrMsg::Report {
+                            round,
+                            sender: id,
+                            value: est,
+                        },
+                    );
+                    let n = self.n;
+                    self.reports
+                        .entry(round)
+                        .or_default()
+                        .record(n, id, Some(est));
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for BenOr {
+    type Message = BenOrMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BenOrMsg>) {
+        let (round, id, est, n) = (self.round, self.id, self.est, self.n);
+        self.broadcast(
+            ctx,
+            BenOrMsg::Report {
+                round,
+                sender: id,
+                value: est,
+            },
+        );
+        self.reports
+            .entry(round)
+            .or_default()
+            .record(n, id, Some(est));
+        self.try_advance(ctx);
+    }
+
+    fn on_message(&mut self, _from: InPort, msg: BenOrMsg, ctx: &mut Ctx<'_, BenOrMsg>) {
+        if self.halted {
+            return;
+        }
+        match msg {
+            BenOrMsg::Report {
+                round,
+                sender,
+                value,
+            } => {
+                if round >= self.round {
+                    let n = self.n;
+                    self.reports
+                        .entry(round)
+                        .or_default()
+                        .record(n, sender, Some(value));
+                }
+            }
+            BenOrMsg::Proposal {
+                round,
+                sender,
+                value,
+            } => {
+                if round >= self.round {
+                    let n = self.n;
+                    self.proposals
+                        .entry(round)
+                        .or_default()
+                        .record(n, sender, value);
+                }
+            }
+            BenOrMsg::Decide { value } => {
+                self.decide(value, ctx);
+                return;
+            }
+        }
+        self.try_advance(ctx);
+    }
+
+    /// Undecided nodes get hotter the further their round has advanced
+    /// (they are the critical locus a targeted adversary would starve);
+    /// halted nodes are cold.
+    fn heat(&self) -> u32 {
+        if self.halted {
+            0
+        } else {
+            u32::try_from(self.round).unwrap_or(u32::MAX)
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Bracha-style Byzantine Reliable Broadcast (`n > 3f`).
+//!
+//! One designated broadcaster floods an `Init` carrying its payload; every
+//! node echoes the first payload it sees, sends `Ready` once *more than
+//! `(n + f) / 2`* distinct echoes agree (or `f + 1` readies amplify it),
+//! and delivers at `2f + 1` distinct readies. The two quorum thresholds
+//! intersect in at least one correct node, which is what makes delivered
+//! payloads consistent even when up to `f` nodes misbehave — here faults
+//! are crash-churn, so the suite checks the *guarantees* (no two nodes
+//! deliver different payloads, nobody delivers a payload the broadcaster
+//! never sent) rather than simulating equivocation.
+//!
+//! Every node sends each message type at most once, so the instance
+//! quiesces on its own: runs end `Quiescent` whether or not the delivery
+//! quorum was reached, and the runner classifies the result.
+
+use abe_core::{Ctx, InPort, OutPort, Protocol};
+
+/// Messages of the reliable-broadcast protocol. Senders identify
+/// themselves in the payload (ports don't name peers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrbMsg {
+    /// The broadcaster's initial flood.
+    Init {
+        /// The broadcast payload.
+        payload: u32,
+    },
+    /// First-stage agreement: "I saw this payload".
+    Echo {
+        /// Echoing node.
+        sender: u32,
+        /// The payload being echoed.
+        payload: u32,
+    },
+    /// Second-stage agreement: "a quorum saw this payload".
+    Ready {
+        /// Ready node.
+        sender: u32,
+        /// The payload a quorum echoed.
+        payload: u32,
+    },
+}
+
+/// One node of the reliable-broadcast instance.
+#[derive(Debug, Clone)]
+pub struct Brb {
+    id: u32,
+    n: u32,
+    f: u32,
+    /// `Some` on the designated broadcaster: the payload to flood.
+    broadcast_payload: Option<u32>,
+    /// First payload this node saw (all later ones must match).
+    value: Option<u32>,
+    /// A conflicting payload arrived — impossible without an equivocating
+    /// sender; surfaced so the validity oracle turns it into a failure.
+    mismatched: bool,
+    echoed: bool,
+    readied: bool,
+    echo_from: Vec<bool>,
+    echoes: u32,
+    ready_from: Vec<bool>,
+    readies: u32,
+    delivered: Option<u32>,
+    delivered_at: Option<f64>,
+    deliver_events: u64,
+}
+
+impl Brb {
+    /// A node with identity `id` (of `n`) tolerating `f` faults;
+    /// `broadcast` is `Some(payload)` on the designated broadcaster.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `id < n` and `n > 3f` (the Byzantine quorum bound).
+    pub fn new(id: u32, n: u32, f: u32, broadcast: Option<u32>) -> Self {
+        assert!(id < n, "node id {id} out of range for n={n}");
+        assert!(
+            n > 3 * f,
+            "reliable broadcast requires n > 3f (got n={n}, f={f})"
+        );
+        Self {
+            id,
+            n,
+            f,
+            broadcast_payload: broadcast,
+            value: None,
+            mismatched: false,
+            echoed: false,
+            readied: false,
+            echo_from: vec![false; n as usize],
+            echoes: 0,
+            ready_from: vec![false; n as usize],
+            readies: 0,
+            delivered: None,
+            delivered_at: None,
+            deliver_events: 0,
+        }
+    }
+
+    /// The delivered payload, if the delivery quorum was reached.
+    pub fn delivered(&self) -> Option<u32> {
+        self.delivered
+    }
+
+    /// Local virtual time of delivery.
+    pub fn delivered_at(&self) -> Option<f64> {
+        self.delivered_at
+    }
+
+    /// How many times this node executed a deliver step — the integrity
+    /// oracle asserts this never exceeds 1.
+    pub fn deliver_events(&self) -> u64 {
+        self.deliver_events
+    }
+
+    /// Whether conflicting payloads were observed.
+    pub fn mismatched(&self) -> bool {
+        self.mismatched
+    }
+
+    fn broadcast(&self, ctx: &mut Ctx<'_, BrbMsg>, msg: BrbMsg) {
+        for port in 0..ctx.out_degree() {
+            ctx.send(OutPort(port), msg);
+        }
+    }
+
+    fn adopt(&mut self, payload: u32) {
+        match self.value {
+            None => self.value = Some(payload),
+            Some(v) if v != payload => self.mismatched = true,
+            Some(_) => {}
+        }
+    }
+
+    fn record_echo(&mut self, sender: u32, payload: u32) {
+        self.adopt(payload);
+        if !self.echo_from[sender as usize] {
+            self.echo_from[sender as usize] = true;
+            self.echoes += 1;
+        }
+    }
+
+    fn record_ready(&mut self, sender: u32, payload: u32) {
+        self.adopt(payload);
+        if !self.ready_from[sender as usize] {
+            self.ready_from[sender as usize] = true;
+            self.readies += 1;
+        }
+    }
+
+    fn send_echo(&mut self, payload: u32, ctx: &mut Ctx<'_, BrbMsg>) {
+        if self.echoed {
+            return;
+        }
+        self.echoed = true;
+        let id = self.id;
+        self.broadcast(
+            ctx,
+            BrbMsg::Echo {
+                sender: id,
+                payload,
+            },
+        );
+        self.record_echo(id, payload);
+    }
+
+    /// Fires every quorum threshold the current counts satisfy; loops
+    /// because sending our own `Ready` counts towards the delivery
+    /// quorum (e.g. at `f = 0` it *is* the quorum).
+    fn try_progress(&mut self, ctx: &mut Ctx<'_, BrbMsg>) {
+        loop {
+            let echo_quorum = u64::from(self.echoes) * 2 > u64::from(self.n + self.f);
+            let amplify = self.readies > self.f;
+            if !self.readied && (echo_quorum || amplify) {
+                self.readied = true;
+                let payload = self.value.expect("a quorum implies a payload was seen");
+                let id = self.id;
+                self.broadcast(
+                    ctx,
+                    BrbMsg::Ready {
+                        sender: id,
+                        payload,
+                    },
+                );
+                self.record_ready(id, payload);
+                continue;
+            }
+            if self.delivered.is_none() && self.readies > 2 * self.f {
+                self.delivered = self.value;
+                self.delivered_at = Some(ctx.local_time());
+                self.deliver_events += 1;
+                ctx.count("brb_delivered", 1);
+            }
+            return;
+        }
+    }
+}
+
+impl Protocol for Brb {
+    type Message = BrbMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BrbMsg>) {
+        if let Some(payload) = self.broadcast_payload {
+            self.broadcast(ctx, BrbMsg::Init { payload });
+            self.adopt(payload);
+            self.send_echo(payload, ctx);
+            self.try_progress(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: InPort, msg: BrbMsg, ctx: &mut Ctx<'_, BrbMsg>) {
+        match msg {
+            BrbMsg::Init { payload } => {
+                self.adopt(payload);
+                self.send_echo(payload, ctx);
+            }
+            BrbMsg::Echo { sender, payload } => self.record_echo(sender, payload),
+            BrbMsg::Ready { sender, payload } => self.record_ready(sender, payload),
+        }
+        self.try_progress(ctx);
+    }
+
+    /// Nodes close to delivering (readies accumulating) are the hottest;
+    /// delivered nodes are cold.
+    fn heat(&self) -> u32 {
+        if self.delivered.is_some() {
+            0
+        } else {
+            1 + self.readies
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! BV-broadcast (binary-value broadcast, Mostéfaoui–Moumen–Raynal,
+//! `n > 3f`).
+//!
+//! The all-to-all primitive underneath signature-free Byzantine consensus:
+//! every node broadcasts its input bit; a bit seen from `f + 1` distinct
+//! senders is *relayed* (it provably originates from a correct node), and
+//! a bit seen from `2f + 1` distinct senders joins the local `bin_values`
+//! set. The guarantees — every element of `bin_values` is some correct
+//! node's input, and a bit added at one correct node is eventually added
+//! at all — are exactly what the safety oracles check after each run.
+//!
+//! Each node sends each bit at most once, so the instance quiesces on its
+//! own in at most `2n²` messages.
+
+use abe_core::{Ctx, InPort, OutPort, Protocol};
+
+/// The single message of BV-broadcast: "`sender` vouches for `value`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BvMsg {
+    /// Vouching node.
+    pub sender: u32,
+    /// The bit being broadcast.
+    pub value: bool,
+}
+
+/// One node of a BV-broadcast instance.
+#[derive(Debug, Clone)]
+pub struct BvBroadcast {
+    id: u32,
+    f: u32,
+    input: bool,
+    sent: [bool; 2],
+    from: [Vec<bool>; 2],
+    counts: [u32; 2],
+    bin: [bool; 2],
+}
+
+fn slot(value: bool) -> usize {
+    usize::from(value)
+}
+
+impl BvBroadcast {
+    /// A node with identity `id` (of `n`) tolerating `f` faults and
+    /// broadcasting input bit `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `id < n` and `n > 3f` (the Byzantine quorum bound).
+    pub fn new(id: u32, n: u32, f: u32, input: bool) -> Self {
+        assert!(id < n, "node id {id} out of range for n={n}");
+        assert!(n > 3 * f, "BV-broadcast requires n > 3f (got n={n}, f={f})");
+        Self {
+            id,
+            f,
+            input,
+            sent: [false; 2],
+            from: [vec![false; n as usize], vec![false; n as usize]],
+            counts: [0; 2],
+            bin: [false; 2],
+        }
+    }
+
+    /// This node's input bit.
+    pub fn input(&self) -> bool {
+        self.input
+    }
+
+    /// Whether `value` has joined this node's `bin_values` set.
+    pub fn contains(&self, value: bool) -> bool {
+        self.bin[slot(value)]
+    }
+
+    /// The local `bin_values` set as `(has_false, has_true)`.
+    pub fn bin_values(&self) -> (bool, bool) {
+        (self.bin[0], self.bin[1])
+    }
+
+    fn broadcast_value(&mut self, value: bool, ctx: &mut Ctx<'_, BvMsg>) {
+        if self.sent[slot(value)] {
+            return;
+        }
+        self.sent[slot(value)] = true;
+        let sender = self.id;
+        for port in 0..ctx.out_degree() {
+            ctx.send(OutPort(port), BvMsg { sender, value });
+        }
+        self.record(sender, value);
+    }
+
+    fn record(&mut self, sender: u32, value: bool) {
+        let s = slot(value);
+        if !self.from[s][sender as usize] {
+            self.from[s][sender as usize] = true;
+            self.counts[s] += 1;
+        }
+    }
+
+    fn try_progress(&mut self, ctx: &mut Ctx<'_, BvMsg>) {
+        for value in [false, true] {
+            let s = slot(value);
+            if self.counts[s] > self.f && !self.sent[s] {
+                self.broadcast_value(value, ctx);
+            }
+            if self.counts[s] > 2 * self.f && !self.bin[s] {
+                self.bin[s] = true;
+                ctx.count("bv_added", 1);
+            }
+        }
+    }
+}
+
+impl Protocol for BvBroadcast {
+    type Message = BvMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BvMsg>) {
+        let input = self.input;
+        self.broadcast_value(input, ctx);
+        self.try_progress(ctx);
+    }
+
+    fn on_message(&mut self, _from: InPort, msg: BvMsg, ctx: &mut Ctx<'_, BvMsg>) {
+        self.record(msg.sender, msg.value);
+        self.try_progress(ctx);
+    }
+
+    /// A node that has relayed a bit but not yet binned it is mid-quorum
+    /// — the natural target for a starving adversary.
+    fn heat(&self) -> u32 {
+        let pending = |s: usize| u32::from(self.sent[s] && !self.bin[s]);
+        pending(0) + pending(1)
+    }
+}

@@ -480,7 +480,7 @@ impl FaultStats {
 }
 
 /// How a run under faults ended, as classified by the algorithm runners
-/// (election, waves, synchronisers).
+/// (election, waves, synchronisers, consensus).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OutcomeClass {
     /// The algorithm reached its goal (one leader, full coverage, all
@@ -492,15 +492,39 @@ pub enum OutcomeClass {
     /// The run produced an *incorrect* result (e.g. more than one
     /// leader), the worst failure mode.
     WrongLeader,
+    /// A consensus run in which a quorum of correct nodes decided a
+    /// common value (the consensus analogue of [`Completed`](Self::Completed)).
+    Decided,
+    /// Two nodes decided *different* values — a consensus safety
+    /// violation, never acceptable under any fault or adversary budget.
+    AgreementViolation,
+    /// A node decided a value that no node proposed (binary consensus) or
+    /// delivered a payload the broadcaster never sent (reliable
+    /// broadcast) — the other consensus safety violation.
+    ValidityViolation,
 }
 
 impl OutcomeClass {
+    /// Every variant, in declaration order (for exhaustive property
+    /// tests over the name round-trip).
+    pub const ALL: [OutcomeClass; 6] = [
+        OutcomeClass::Completed,
+        OutcomeClass::Stalled,
+        OutcomeClass::WrongLeader,
+        OutcomeClass::Decided,
+        OutcomeClass::AgreementViolation,
+        OutcomeClass::ValidityViolation,
+    ];
+
     /// Stable lower-case name, as used in tables and JSON.
     pub fn as_str(self) -> &'static str {
         match self {
             OutcomeClass::Completed => "completed",
             OutcomeClass::Stalled => "stalled",
             OutcomeClass::WrongLeader => "wrong-leader",
+            OutcomeClass::Decided => "decided",
+            OutcomeClass::AgreementViolation => "agreement-violation",
+            OutcomeClass::ValidityViolation => "validity-violation",
         }
     }
 
@@ -513,6 +537,10 @@ impl OutcomeClass {
     ///     OutcomeClass::from_name("wrong-leader"),
     ///     Some(OutcomeClass::WrongLeader)
     /// );
+    /// assert_eq!(
+    ///     OutcomeClass::from_name("agreement-violation"),
+    ///     Some(OutcomeClass::AgreementViolation)
+    /// );
     /// assert_eq!(OutcomeClass::from_name("mixed"), None);
     /// ```
     pub fn from_name(name: &str) -> Option<Self> {
@@ -520,8 +548,31 @@ impl OutcomeClass {
             "completed" => Some(OutcomeClass::Completed),
             "stalled" => Some(OutcomeClass::Stalled),
             "wrong-leader" => Some(OutcomeClass::WrongLeader),
+            "decided" => Some(OutcomeClass::Decided),
+            "agreement-violation" => Some(OutcomeClass::AgreementViolation),
+            "validity-violation" => Some(OutcomeClass::ValidityViolation),
             _ => None,
         }
+    }
+
+    /// Whether this class is a *correctness* violation (an incorrect
+    /// result, as opposed to a merely unfinished one). Violations are
+    /// hard failures for every standing oracle regardless of what a
+    /// scenario declared it expects.
+    ///
+    /// ```
+    /// use abe_core::fault::OutcomeClass;
+    /// assert!(OutcomeClass::WrongLeader.is_violation());
+    /// assert!(OutcomeClass::AgreementViolation.is_violation());
+    /// assert!(!OutcomeClass::Stalled.is_violation());
+    /// ```
+    pub fn is_violation(self) -> bool {
+        matches!(
+            self,
+            OutcomeClass::WrongLeader
+                | OutcomeClass::AgreementViolation
+                | OutcomeClass::ValidityViolation
+        )
     }
 }
 
@@ -959,5 +1010,30 @@ mod tests {
         assert_eq!(OutcomeClass::Completed.as_str(), "completed");
         assert_eq!(OutcomeClass::Stalled.to_string(), "stalled");
         assert_eq!(OutcomeClass::WrongLeader.as_str(), "wrong-leader");
+        assert_eq!(OutcomeClass::Decided.as_str(), "decided");
+        assert_eq!(
+            OutcomeClass::AgreementViolation.to_string(),
+            "agreement-violation"
+        );
+        assert_eq!(
+            OutcomeClass::ValidityViolation.as_str(),
+            "validity-violation"
+        );
+    }
+
+    #[test]
+    fn outcome_class_violations_are_exactly_the_incorrect_results() {
+        let violations: Vec<_> = OutcomeClass::ALL
+            .into_iter()
+            .filter(|c| c.is_violation())
+            .collect();
+        assert_eq!(
+            violations,
+            vec![
+                OutcomeClass::WrongLeader,
+                OutcomeClass::AgreementViolation,
+                OutcomeClass::ValidityViolation,
+            ]
+        );
     }
 }

@@ -1,0 +1,65 @@
+//! Property tests for the [`OutcomeClass`] name round-trip.
+//!
+//! The stable names are load-bearing in three places — scenario `expect`
+//! directives, campaign documents, and sweep JSON — so `from_name` must
+//! stay the exact inverse of `as_str` over *every* variant (including the
+//! consensus classes), and must reject everything else. Until now only
+//! the happy path was exercised; these properties close the gap.
+
+use proptest::prelude::*;
+
+use abe_core::fault::OutcomeClass;
+
+/// Draws one of the variants, uniformly.
+fn class_strategy() -> impl Strategy<Value = OutcomeClass> {
+    (0..OutcomeClass::ALL.len()).prop_map(|i| OutcomeClass::ALL[i])
+}
+
+#[test]
+fn every_variant_round_trips_through_its_name() {
+    for class in OutcomeClass::ALL {
+        assert_eq!(OutcomeClass::from_name(class.as_str()), Some(class));
+        // Display and as_str agree (tables and JSON share the vocabulary).
+        assert_eq!(class.to_string(), class.as_str());
+    }
+}
+
+#[test]
+fn names_are_pairwise_distinct() {
+    for a in OutcomeClass::ALL {
+        for b in OutcomeClass::ALL {
+            assert_eq!(a.as_str() == b.as_str(), a == b, "{a} vs {b}");
+        }
+    }
+}
+
+proptest! {
+    /// `from_name(as_str(c)) == c` for any variant.
+    #[test]
+    fn round_trip_holds(class in class_strategy()) {
+        prop_assert_eq!(OutcomeClass::from_name(class.as_str()), Some(class));
+    }
+
+    /// Any string that is not exactly a stable name resolves to `None`:
+    /// random words over the name alphabet (lower-case letters and `-`,
+    /// the same character set real names use, so near-misses are common)
+    /// resolve iff they collide with an actual name.
+    #[test]
+    fn arbitrary_strings_resolve_only_to_exact_names(
+        ids in proptest::collection::vec(0usize..27, 0..24)
+    ) {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz-";
+        let name: String = ids.into_iter().map(|i| CHARS[i] as char).collect();
+        let known = OutcomeClass::ALL.iter().any(|c| c.as_str() == name);
+        prop_assert_eq!(OutcomeClass::from_name(&name).is_some(), known, "{}", name);
+    }
+
+    /// Decorated variants of real names never resolve.
+    #[test]
+    fn decorated_names_are_rejected(class in class_strategy()) {
+        let name = class.as_str();
+        prop_assert_eq!(OutcomeClass::from_name(&name.to_uppercase()), None);
+        prop_assert_eq!(OutcomeClass::from_name(&format!(" {name}")), None);
+        prop_assert_eq!(OutcomeClass::from_name(&format!("{name} ")), None);
+    }
+}

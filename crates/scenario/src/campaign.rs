@@ -18,7 +18,9 @@
 //!    records derive it from the `leaders` metric, classified records
 //!    from their indicator metrics) — nothing is silently dropped;
 //! 2. the class satisfies the scenario's declared [`Expectation`] —
-//!    and `wrong-leader` is a violation under *every* expectation;
+//!    and the safety-violation classes (`wrong-leader`,
+//!    `agreement-violation`, `validity-violation`) are violations
+//!    under *every* expectation;
 //! 3. wherever adversary telemetry is recorded, the auditor's
 //!    `adv_violations` counter is zero (the run was a legal ABE
 //!    execution).
@@ -230,6 +232,30 @@ fn classify(record: RecordMode, metrics: &abe_sweep::CellMetrics) -> Result<Outc
                 )),
             }
         }
+        RecordMode::Consensus => {
+            let get = |name: &str| {
+                metrics
+                    .get(name)
+                    .ok_or_else(|| format!("missing `{name}` metric"))
+            };
+            let (d, s, a, v) = (
+                get("decided")?,
+                get("stalled")?,
+                get("agreement_violation")?,
+                get("validity_violation")?,
+            );
+            match (d == 1.0, s == 1.0, a == 1.0, v == 1.0) {
+                (true, false, false, false) => Ok(OutcomeClass::Decided),
+                (false, true, false, false) => Ok(OutcomeClass::Stalled),
+                (false, false, true, false) => Ok(OutcomeClass::AgreementViolation),
+                (false, false, false, true) => Ok(OutcomeClass::ValidityViolation),
+                _ => Err(format!(
+                    "indicator metrics do not name exactly one class \
+                     (decided={d}, stalled={s}, agreement_violation={a}, \
+                     validity_violation={v})"
+                )),
+            }
+        }
     }
 }
 
@@ -247,8 +273,8 @@ pub fn check_oracles(scenario: &Scenario, outcome: &SweepOutcome) -> OracleRepor
         };
         match scenario.expect {
             Expectation::Class(expected) => {
-                if class == OutcomeClass::WrongLeader {
-                    violations.push(format!("{label}: wrong leader (safety violation)"));
+                if class.is_violation() {
+                    violations.push(format!("{label}: `{}` (safety violation)", class.as_str()));
                 } else if class != expected {
                     violations.push(format!(
                         "{label}: outcome `{}`, scenario expects `{}`",
@@ -258,8 +284,8 @@ pub fn check_oracles(scenario: &Scenario, outcome: &SweepOutcome) -> OracleRepor
                 }
             }
             Expectation::Mixed => {
-                if class == OutcomeClass::WrongLeader {
-                    violations.push(format!("{label}: wrong leader (safety violation)"));
+                if class.is_violation() {
+                    violations.push(format!("{label}: `{}` (safety violation)", class.as_str()));
                 }
             }
         }

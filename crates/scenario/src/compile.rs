@@ -16,6 +16,7 @@
 use std::sync::Arc;
 
 use abe_adversary::{Burst, Reorder, Swap, TargetHeat};
+use abe_consensus::{default_faulty, run_benor, run_brb, ConsensusConfig, InputAssignment};
 use abe_core::delay::{Deterministic, Exponential, Pareto, SharedDelay, Uniform, Weibull};
 use abe_core::fault::FaultPlan;
 use abe_core::{AdversaryPlan, OutcomeClass};
@@ -33,6 +34,9 @@ use crate::model::{
 
 /// The adversary strategy vocabulary, baseline first (mirrors e17).
 pub const STRATEGIES: [&str; 5] = ["none", "swap", "burst", "reorder", "adaptive"];
+
+/// The payload node 0 floods in `protocol brb` scenarios (mirrors e20).
+pub const BRB_PAYLOAD: u32 = 0xB10C;
 
 /// Axis names are a closed vocabulary so the engine's `&'static str`
 /// axis labels can be recovered from parsed strings.
@@ -193,7 +197,7 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
         _ => {}
     }
 
-    // Protocol parameters, and baseline/topology compatibility.
+    // Protocol parameters, and protocol/topology compatibility.
     match scenario.protocol {
         ProtocolSpec::AbeCalibrated { a } => check_finite_positive(a, "protocol.a")?,
         ProtocolSpec::Abe { a0 } => {
@@ -210,6 +214,68 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
                     "topology",
                     "baseline protocols run on unidirectional rings only",
                 ));
+            }
+        }
+        ProtocolSpec::Benor | ProtocolSpec::Brb => {
+            if scenario.topology != TopologySpec::Complete {
+                return Err(ScenarioError::field(
+                    "topology",
+                    "consensus protocols run on the complete graph; write `topology complete`",
+                ));
+            }
+        }
+    }
+
+    // The consensus family is all-or-nothing: a consensus protocol, the
+    // complete graph, and the consensus record mode come together.
+    let consensus = scenario.protocol.is_consensus();
+    if scenario.topology == TopologySpec::Complete && !consensus {
+        return Err(ScenarioError::field(
+            "topology",
+            "the complete graph is reserved for consensus protocols (benor, brb)",
+        ));
+    }
+    if (scenario.record == RecordMode::Consensus) != consensus {
+        return Err(ScenarioError::field(
+            "record",
+            if consensus {
+                "consensus protocols require `record consensus`"
+            } else {
+                "the consensus record mode requires a consensus protocol (benor, brb)"
+            },
+        ));
+    }
+
+    // Fault budget: consensus-only, and every network size on the grid
+    // must clear the Byzantine quorum bound n > 3f (the bound both BRB
+    // and the derived default respect; Ben-Or itself needs only n > 2f).
+    if let Some(f) = scenario.faulty {
+        if !consensus {
+            return Err(ScenarioError::field(
+                "faulty",
+                "the fault budget applies to consensus protocols only",
+            ));
+        }
+        let check_n = |n: u32| -> Result<(), ScenarioError> {
+            if n > 3 * f {
+                Ok(())
+            } else {
+                Err(ScenarioError::field(
+                    "faulty",
+                    format!("n = {n} does not satisfy n > 3f for f = {f}"),
+                ))
+            }
+        };
+        if let Some(n) = scenario.n {
+            check_n(n)?;
+        }
+        if let Some(AxisSpec {
+            values: AxisValues::U32(ns),
+            ..
+        }) = axis("n")
+        {
+            for &n in ns {
+                check_n(n)?;
             }
         }
     }
@@ -557,26 +623,7 @@ impl CompiledScenario {
                 SeedStream::new(cell.seed()).child_seed("churn-plan", 0),
             ));
         }
-        if let Some(adv) = &self.scenario.adversary {
-            let strategy = self.cell_strategy(cell).expect("stanza present");
-            let budget = match adv.budget {
-                Bind::Fixed(b) => b,
-                Bind::Axis => cell.f64("budget"),
-            };
-            let plan = match strategy {
-                "none" => AdversaryPlan::none(),
-                "swap" => AdversaryPlan::new(
-                    budget,
-                    Swap::new(Arc::new(
-                        Pareto::from_mean(adv.pareto_shape, budget).expect("validated"),
-                    )),
-                )
-                .expect("validated"),
-                "burst" => AdversaryPlan::new(budget, Burst::new(adv.burst_p)).expect("validated"),
-                "reorder" => AdversaryPlan::new(budget, Reorder::new()).expect("validated"),
-                "adaptive" => AdversaryPlan::new(budget, TargetHeat::new()).expect("validated"),
-                other => unreachable!("strategy `{other}` rejected by compile"),
-            };
+        if let Some(plan) = self.cell_adversary(cell) {
             cfg = cfg.adversary(plan);
         }
         cfg
@@ -589,11 +636,101 @@ impl CompiledScenario {
             ProtocolSpec::ItaiRodeh => run_itai_rodeh(cfg),
             ProtocolSpec::ChangRoberts => run_chang_roberts(cfg),
             ProtocolSpec::Peterson => run_peterson(cfg),
+            ProtocolSpec::Benor | ProtocolSpec::Brb => {
+                unreachable!("consensus protocols take the consensus record path")
+            }
         }
+    }
+
+    /// This cell's adversary plan, when a stanza is present (shared by
+    /// the ring and the complete-graph configuration builders).
+    fn cell_adversary(&self, cell: &Cell) -> Option<AdversaryPlan> {
+        let adv = self.scenario.adversary.as_ref()?;
+        let strategy = self.cell_strategy(cell).expect("stanza present");
+        let budget = match adv.budget {
+            Bind::Fixed(b) => b,
+            Bind::Axis => cell.f64("budget"),
+        };
+        Some(match strategy {
+            "none" => AdversaryPlan::none(),
+            "swap" => AdversaryPlan::new(
+                budget,
+                Swap::new(Arc::new(
+                    Pareto::from_mean(adv.pareto_shape, budget).expect("validated"),
+                )),
+            )
+            .expect("validated"),
+            "burst" => AdversaryPlan::new(budget, Burst::new(adv.burst_p)).expect("validated"),
+            "reorder" => AdversaryPlan::new(budget, Reorder::new()).expect("validated"),
+            "adaptive" => AdversaryPlan::new(budget, TargetHeat::new()).expect("validated"),
+            other => unreachable!("strategy `{other}` rejected by compile"),
+        })
+    }
+
+    /// Builds the cell's complete-graph consensus configuration, exactly
+    /// as the hand-written e19/e20 experiments do: `faulty` defaults to
+    /// the largest legal budget `(n - 1) / 3` derived per cell, the
+    /// fault plan is seeded with the e14 churn idiom, and an adversary
+    /// plan is installed only when a stanza resolves to a strategy.
+    fn cell_consensus_config(&self, cell: &Cell) -> ConsensusConfig {
+        let n = self.cell_n(cell);
+        let f = self.scenario.faulty.unwrap_or_else(|| default_faulty(n));
+        let mut cfg = ConsensusConfig::new(n, f)
+            .delay(Arc::clone(&self.delay))
+            .seed(cell.seed())
+            .max_events(self.scenario.max_events)
+            .shards(self.shards);
+        if let Some(fault) = &self.scenario.fault {
+            let events = match fault.events {
+                Bind::Fixed(v) => v,
+                Bind::Axis => cell.u32("churn"),
+            };
+            cfg = cfg.fault(FaultPlan::churn(
+                n,
+                events,
+                fault.horizon,
+                fault.downtime,
+                SeedStream::new(cell.seed()).child_seed("churn-plan", 0),
+            ));
+        }
+        if let Some(plan) = self.cell_adversary(cell) {
+            cfg = cfg.adversary(plan);
+        }
+        cfg
+    }
+
+    /// Runs one consensus cell: the e19/e20 metric set — outcome-class
+    /// indicators plus progress and complexity — with fault telemetry
+    /// iff the scenario injects faults and adversary telemetry iff the
+    /// cell's resolved strategy tampers, so declarative consensus ports
+    /// stay byte-comparable with their hand-written originals.
+    fn consensus_metrics(&self, cell: &Cell) -> CellMetrics {
+        let cfg = self.cell_consensus_config(cell);
+        let (mut metrics, report) = match self.scenario.protocol {
+            ProtocolSpec::Benor => {
+                let o = run_benor(&cfg, InputAssignment::Split);
+                (CellMetrics::new().with_consensus(&o), o.report)
+            }
+            ProtocolSpec::Brb => {
+                let o = run_brb(&cfg, BRB_PAYLOAD);
+                (CellMetrics::new().with_brb(&o), o.report)
+            }
+            _ => unreachable!("record consensus requires a consensus protocol"),
+        };
+        if self.scenario.fault.is_some() {
+            metrics = metrics.with_faults(&report);
+        }
+        if self.scenario.adversary.is_some() && self.cell_strategy(cell) != Some("none") {
+            metrics = metrics.with_adversary(&report);
+        }
+        metrics
     }
 
     /// Runs one cell and records the scenario's metric set.
     pub fn run_cell(&self, cell: &Cell) -> CellMetrics {
+        if self.scenario.record == RecordMode::Consensus {
+            return self.consensus_metrics(cell);
+        }
         let cfg = self.cell_config(cell);
         let o = self.run_protocol(&cfg);
         match self.scenario.record {
@@ -633,6 +770,7 @@ impl CompiledScenario {
                     metrics
                 }
             }
+            RecordMode::Consensus => unreachable!("handled by the early return above"),
         }
     }
 }
@@ -742,6 +880,72 @@ mod tests {
         // `n` is fixed here, so there is no axis to filter on.
         let s2 = s.unwrap();
         assert_eq!(compile(&s2).unwrap_err().field_name(), Some("filter"));
+    }
+
+    fn benor_text() -> String {
+        "scenario c\nprotocol benor\ndelay exp mean=1\ntopology complete\n\
+         n 4\nseeds 2\nrecord consensus\nexpect decided\n"
+            .to_string()
+    }
+
+    #[test]
+    fn minimal_benor_scenario_compiles_and_decides() {
+        let s = parse(&benor_text()).unwrap();
+        let outcome = compile(&s).unwrap().run(1).unwrap();
+        assert_eq!(outcome.cells.len(), 2);
+        for cell in &outcome.cells {
+            assert_eq!(cell.metrics.get("decided"), Some(1.0));
+            assert_eq!(cell.metrics.get("agreement_violation"), Some(0.0));
+            assert_eq!(cell.metrics.get("validity_violation"), Some(0.0));
+            assert!(cell.metrics.get("rounds").unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn brb_scenario_with_explicit_faulty_runs() {
+        let s = parse(
+            &benor_text()
+                .replace("protocol benor", "protocol brb")
+                .replace("n 4\n", "n 7\nfaulty 2\n"),
+        )
+        .unwrap();
+        let outcome = compile(&s).unwrap().run(1).unwrap();
+        for cell in &outcome.cells {
+            assert_eq!(cell.metrics.get("decided"), Some(1.0));
+            assert_eq!(cell.metrics.get("delivered_nodes"), Some(7.0));
+            assert!(cell.metrics.get("latency").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn consensus_family_is_all_or_nothing() {
+        // Consensus protocol off the complete graph.
+        let s = parse(&benor_text().replace("topology complete", "topology uni-ring")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("topology"));
+        // Complete graph under an election protocol.
+        let s = parse(&base_text().replace("topology uni-ring", "topology complete")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("topology"));
+        // Consensus protocol without the consensus record mode.
+        let s = parse(&benor_text().replace("record consensus", "record election")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("record"));
+        // Consensus record mode under an election protocol.
+        let s = parse(&base_text().replace("record election", "record consensus")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("record"));
+    }
+
+    #[test]
+    fn faulty_is_consensus_only_and_bounded_by_quorum() {
+        let s = parse(&base_text().replace("n 4\n", "n 4\nfaulty 1\n")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("faulty"));
+        // n = 6 <= 3f for f = 2.
+        let s = parse(&benor_text().replace("n 4\n", "n 6\nfaulty 2\n")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("faulty"));
+        // Every n-axis value must clear the bound, not just the first.
+        let s = parse(&benor_text().replace("n 4\n", "axis n 7 6\nfaulty 2\n")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("faulty"));
+        // n = 7 > 3f for f = 2 compiles.
+        let s = parse(&benor_text().replace("n 4\n", "n 7\nfaulty 2\n")).unwrap();
+        assert!(compile(&s).is_ok());
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //! * churn scenarios are recorded classified and expect `mixed`: stalls
 //!   are legal, a wrong leader never is (e14's safety finding);
 //! * adversary scenarios expect `completed` with zero auditor
-//!   violations (e17's legality proof).
+//!   violations (e17's legality proof);
+//! * consensus scenarios (Ben-Or, reliable broadcast on the complete
+//!   graph) must never violate agreement or validity; fault-free
+//!   broadcast additionally expects `decided`, while Ben-Or — whose
+//!   termination is probabilistic under a finite event budget — is
+//!   checked as `mixed` (decide or stall, never disagree).
 //!
 //! Generation is pure seed-derivation ([`abe_sim::SeedStream`]):
 //! the same seed always yields the same scenario, so a failing fuzz
@@ -75,7 +80,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
         )
     };
 
-    match p.pick("family", 3) {
+    match p.pick("family", 4) {
         // Plain election: any protocol; baselines stay on uni-rings.
         0 => {
             let protocol = random_protocol(&p, true);
@@ -95,6 +100,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
                 base_seed,
                 max_events: DEFAULT_MAX_EVENTS,
                 fault: None,
+                faulty: None,
                 adversary: None,
                 filter: None,
                 record: RecordMode::Election,
@@ -128,6 +134,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
                     horizon: 2.0 * f64::from(max_n),
                     downtime: *p.choose("downtime", &[1.0, 2.0, 4.0]),
                 }),
+                faulty: None,
                 adversary: None,
                 filter: None,
                 record: RecordMode::Classified,
@@ -136,7 +143,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
         }
         // Adversary: legal schedules attack liveness margins, never
         // safety or termination — expect completed, zero violations.
-        _ => {
+        2 => {
             let topology = random_topology(&p, &mut axes);
             const STRATEGY_SETS: [&[&str]; 3] = [
                 &["none", "swap", "burst"],
@@ -179,6 +186,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
                 base_seed,
                 max_events: DEFAULT_MAX_EVENTS,
                 fault: None,
+                faulty: None,
                 adversary: Some(AdversarySpec {
                     strategy,
                     budget,
@@ -188,6 +196,59 @@ pub fn random_scenario(seed: u64) -> Scenario {
                 filter: None,
                 record: RecordMode::Adversary,
                 expect: Expectation::Class(OutcomeClass::Completed),
+            }
+        }
+        // Consensus: Ben-Or or reliable broadcast on the complete
+        // graph; agreement and validity must hold under every schedule.
+        // Fault-free broadcast always delivers (expect decided);
+        // Ben-Or's termination is probabilistic under a finite event
+        // budget, so its oracle is mixed: decide or stall, never
+        // disagree. Every generated size satisfies n > 3f for f = 1,
+        // so an explicit `faulty 1` is always legal.
+        _ => {
+            let protocol = if p.pick("consensus-protocol", 2) == 0 {
+                ProtocolSpec::Benor
+            } else {
+                ProtocolSpec::Brb
+            };
+            let adversary = if p.pick("consensus-adversary", 2) == 0 {
+                Some(AdversarySpec {
+                    strategy: Bind::Fixed(
+                        (*p.choose("consensus-strategy", &["none", "swap", "burst", "adaptive"]))
+                            .to_string(),
+                    ),
+                    budget: Bind::Fixed(*p.choose("consensus-budget", &[1.0, 2.0])),
+                    burst_p: DEFAULT_BURST_P,
+                    pareto_shape: DEFAULT_PARETO_SHAPE,
+                })
+            } else {
+                None
+            };
+            let expect = if protocol == ProtocolSpec::Brb && adversary.is_none() {
+                Expectation::Class(OutcomeClass::Decided)
+            } else {
+                Expectation::Mixed
+            };
+            Scenario {
+                name,
+                protocol,
+                delay,
+                topology: TopologySpec::Complete,
+                n,
+                axes,
+                seeds,
+                base_seed,
+                max_events: 400_000,
+                fault: None,
+                faulty: if p.pick("consensus-faulty", 2) == 0 {
+                    None
+                } else {
+                    Some(1)
+                },
+                adversary,
+                filter: None,
+                record: RecordMode::Consensus,
+                expect,
             }
         }
     }
@@ -287,12 +348,16 @@ mod tests {
     }
 
     #[test]
-    fn generator_covers_all_three_families() {
+    fn generator_covers_all_four_families() {
         let scenarios = corpus(32, 1);
         assert!(scenarios.iter().any(|s| s.fault.is_some()));
-        assert!(scenarios.iter().any(|s| s.adversary.is_some()));
         assert!(scenarios
             .iter()
-            .any(|s| s.fault.is_none() && s.adversary.is_none()));
+            .any(|s| s.adversary.is_some() && !s.protocol.is_consensus()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.fault.is_none() && s.adversary.is_none() && !s.protocol.is_consensus()));
+        assert!(scenarios.iter().any(|s| s.protocol == ProtocolSpec::Benor));
+        assert!(scenarios.iter().any(|s| s.protocol == ProtocolSpec::Brb));
     }
 }

@@ -37,7 +37,8 @@ pub const DEFAULT_BURST_P: f64 = 0.05;
 /// resampling distribution (matches the hand-written `e17` experiment).
 pub const DEFAULT_PARETO_SHAPE: f64 = 2.5;
 
-/// Which election protocol a scenario runs.
+/// Which protocol a scenario runs: a ring election, or a consensus
+/// protocol on the complete graph.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProtocolSpec {
     /// The paper's algorithm with the calibrated knockout constant `a`.
@@ -56,15 +57,31 @@ pub enum ProtocolSpec {
     ChangRoberts,
     /// Peterson baseline (unidirectional rings only).
     Peterson,
+    /// Ben-Or binary consensus with split inputs (complete graph only,
+    /// recorded with `record consensus`).
+    Benor,
+    /// Bracha reliable broadcast, node 0 broadcasting (complete graph
+    /// only, recorded with `record consensus`).
+    Brb,
 }
 
-/// Ring topology: fixed, or driven by a `topo` axis.
+impl ProtocolSpec {
+    /// Whether this is a consensus protocol (complete-graph family).
+    pub fn is_consensus(&self) -> bool {
+        matches!(self, ProtocolSpec::Benor | ProtocolSpec::Brb)
+    }
+}
+
+/// Network topology: a fixed ring, the complete graph (consensus), or
+/// driven by a `topo` axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologySpec {
     /// Unidirectional ring.
     UniRing,
     /// Bidirectional ring.
     BidiRing,
+    /// Complete graph `K_n` (consensus protocols only).
+    Complete,
     /// Taken from the `topo` axis (written `topology @topo`).
     Axis,
 }
@@ -172,6 +189,11 @@ pub enum RecordMode {
     /// e17-style adversary metrics: election metrics plus adversary
     /// telemetry (spent budget, violations) on tampered cells.
     Adversary,
+    /// e19/e20-style consensus metrics: outcome-class indicators
+    /// (`decided` / `stalled` / `agreement_violation` /
+    /// `validity_violation`) plus progress and complexity metrics, with
+    /// fault and adversary telemetry where the stanzas apply.
+    Consensus,
 }
 
 impl RecordMode {
@@ -181,6 +203,7 @@ impl RecordMode {
             RecordMode::Election => "election",
             RecordMode::Classified => "classified",
             RecordMode::Adversary => "adversary",
+            RecordMode::Consensus => "consensus",
         }
     }
 }
@@ -189,12 +212,14 @@ impl RecordMode {
 /// fuzz oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Expectation {
-    /// Every cell must end in exactly this class. `WrongLeader` is not
-    /// accepted even when declared — declaring it documents a known-bad
+    /// Every cell must end in exactly this class. Violation classes
+    /// (wrong-leader, agreement-violation, validity-violation) are not
+    /// accepted even when declared — declaring one documents a known-bad
     /// scenario, but the oracle still reports each such cell.
     Class(OutcomeClass),
-    /// Cells may complete or stall (faulty runs legitimately lose the
-    /// election token); wrong-leader is still a violation.
+    /// Cells may make progress or stall (faulty runs legitimately lose
+    /// the election token or starve a quorum); the violation classes
+    /// are still violations.
     Mixed,
 }
 
@@ -266,14 +291,18 @@ impl AxisValues {
 pub struct Scenario {
     /// Scenario name (used for golden filenames and reports).
     pub name: String,
-    /// Election protocol.
+    /// The protocol under test (election or consensus).
     pub protocol: ProtocolSpec,
     /// Channel delay distribution.
     pub delay: DelaySpec,
-    /// Ring topology, fixed or axis-driven.
+    /// Network topology, fixed or axis-driven.
     pub topology: TopologySpec,
-    /// Fixed ring size; `None` when driven by an `n` axis.
+    /// Fixed network size; `None` when driven by an `n` axis.
     pub n: Option<u32>,
+    /// Declared consensus fault budget `f`; `None` derives the largest
+    /// legal budget `(n - 1) / 3` per cell. Only valid with consensus
+    /// protocols.
+    pub faulty: Option<u32>,
     /// Grid axes, in declaration order.
     pub axes: Vec<AxisSpec>,
     /// Seed repetitions per grid point.

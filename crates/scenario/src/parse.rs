@@ -12,10 +12,12 @@
 //! ```text
 //! scenario NAME
 //! protocol abe-calibrated a=F | abe a0=F | itai-rodeh | chang-roberts | peterson
+//!          | benor | brb
 //! delay exp mean=F | det value=F | uniform lo=F hi=F
 //!       | pareto shape=F mean=F | weibull shape=F mean=F
-//! topology uni-ring | bidi-ring | @topo
-//! n U32                       # fixed ring size (or use an `n` axis)
+//! topology uni-ring | bidi-ring | complete | @topo
+//! n U32                       # fixed network size (or use an `n` axis)
+//! faulty U32                  # consensus fault budget f (default (n-1)/3)
 //! axis NAME V...              # NAME in {n, topo, churn, budget, strategy}
 //! seeds U64
 //! base-seed U64               # default 0
@@ -24,8 +26,9 @@
 //! adversary strategy=(NAME|@strategy) budget=(F|@budget)
 //!           burst-p=F pareto-shape=F
 //! filter AXIS=V only-at AXIS=V
-//! record election | classified | adversary
-//! expect completed | stalled | wrong-leader | mixed
+//! record election | classified | adversary | consensus
+//! expect completed | stalled | wrong-leader | decided
+//!        | agreement-violation | validity-violation | mixed
 //! ```
 
 use std::fmt::Write as _;
@@ -135,6 +138,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut delay: Option<DelaySpec> = None;
     let mut topology: Option<TopologySpec> = None;
     let mut n: Option<u32> = None;
+    let mut faulty: Option<u32> = None;
     let mut axes: Vec<AxisSpec> = Vec::new();
     let mut seeds: Option<u64> = None;
     let mut base_seed: Option<u64> = None;
@@ -185,6 +189,8 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     "itai-rodeh" => ProtocolSpec::ItaiRodeh,
                     "chang-roberts" => ProtocolSpec::ChangRoberts,
                     "peterson" => ProtocolSpec::Peterson,
+                    "benor" => ProtocolSpec::Benor,
+                    "brb" => ProtocolSpec::Brb,
                     other => {
                         return Err(syntax(lineno, format!("unknown protocol `{other}`")));
                     }
@@ -227,12 +233,13 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                 let [tok] = rest else {
                     return Err(syntax(
                         lineno,
-                        "expected `topology uni-ring|bidi-ring|@topo`",
+                        "expected `topology uni-ring|bidi-ring|complete|@topo`",
                     ));
                 };
                 let spec = match *tok {
                     "uni-ring" => TopologySpec::UniRing,
                     "bidi-ring" => TopologySpec::BidiRing,
+                    "complete" => TopologySpec::Complete,
                     "@topo" => TopologySpec::Axis,
                     other => {
                         return Err(syntax(lineno, format!("unknown topology `{other}`")));
@@ -245,6 +252,12 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     return Err(syntax(lineno, "expected `n SIZE`"));
                 };
                 set_once(&mut n, parse_u32(tok, "n")?, lineno, dir)?;
+            }
+            "faulty" => {
+                let [tok] = rest else {
+                    return Err(syntax(lineno, "expected `faulty BUDGET`"));
+                };
+                set_once(&mut faulty, parse_u32(tok, "faulty")?, lineno, dir)?;
             }
             "axis" => {
                 let Some((&axis_name, vals)) = rest.split_first() else {
@@ -388,6 +401,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     "election" => RecordMode::Election,
                     "classified" => RecordMode::Classified,
                     "adversary" => RecordMode::Adversary,
+                    "consensus" => RecordMode::Consensus,
                     other => {
                         return Err(syntax(lineno, format!("unknown record mode `{other}`")));
                     }
@@ -417,6 +431,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         delay: delay.ok_or_else(|| missing("delay"))?,
         topology: topology.ok_or_else(|| missing("topology"))?,
         n,
+        faulty,
         axes,
         seeds: seeds.ok_or_else(|| missing("seeds"))?,
         base_seed: base_seed.unwrap_or(0),
@@ -452,6 +467,8 @@ impl Scenario {
             ProtocolSpec::ItaiRodeh => writeln!(out, "protocol itai-rodeh"),
             ProtocolSpec::ChangRoberts => writeln!(out, "protocol chang-roberts"),
             ProtocolSpec::Peterson => writeln!(out, "protocol peterson"),
+            ProtocolSpec::Benor => writeln!(out, "protocol benor"),
+            ProtocolSpec::Brb => writeln!(out, "protocol brb"),
         };
         let _ = match &self.delay {
             DelaySpec::Exponential { mean } => writeln!(out, "delay exp mean={mean}"),
@@ -470,11 +487,15 @@ impl Scenario {
             match self.topology {
                 TopologySpec::UniRing => "uni-ring",
                 TopologySpec::BidiRing => "bidi-ring",
+                TopologySpec::Complete => "complete",
                 TopologySpec::Axis => "@topo",
             }
         );
         if let Some(n) = self.n {
             let _ = writeln!(out, "n {n}");
+        }
+        if let Some(f) = self.faulty {
+            let _ = writeln!(out, "faulty {f}");
         }
         for axis in &self.axes {
             let rendered: Vec<String> = match &axis.values {
@@ -562,13 +583,63 @@ record classified
 expect mixed
 ";
 
+    const E19_STYLE: &str = "\
+scenario e19_benor
+protocol benor
+delay exp mean=1
+topology complete
+axis n 4 7
+axis strategy none swap burst reorder adaptive
+axis budget 1 4
+seeds 3
+adversary strategy=@strategy budget=@budget burst-p=0.05 pareto-shape=2.5
+filter strategy=none only-at budget=1
+record consensus
+expect decided
+";
+
+    const BRB_STYLE: &str = "\
+scenario brb_churn
+protocol brb
+delay exp mean=1
+topology complete
+n 7
+faulty 2
+axis churn 0 2
+seeds 3
+max-events 400000
+fault churn events=@churn horizon=12 downtime=6
+record consensus
+expect mixed
+";
+
     #[test]
     fn canonical_texts_round_trip() {
-        for text in [E17_STYLE, E14_STYLE] {
+        for text in [E17_STYLE, E14_STYLE, E19_STYLE, BRB_STYLE] {
             let s = parse(text).unwrap();
             assert_eq!(s.print(), text);
             assert_eq!(parse(&s.print()).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn parses_consensus_structure() {
+        let s = parse(E19_STYLE).unwrap();
+        assert_eq!(s.protocol, ProtocolSpec::Benor);
+        assert_eq!(s.topology, TopologySpec::Complete);
+        assert_eq!(s.record, RecordMode::Consensus);
+        assert_eq!(s.faulty, None);
+        assert_eq!(s.expect, Expectation::Class(OutcomeClass::Decided));
+        let s = parse(BRB_STYLE).unwrap();
+        assert_eq!(s.protocol, ProtocolSpec::Brb);
+        assert_eq!(s.faulty, Some(2));
+        assert_eq!(s.expect, Expectation::Mixed);
+    }
+
+    #[test]
+    fn duplicate_faulty_is_rejected() {
+        let err = parse("faulty 1\nfaulty 2\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::Syntax { line: 2, .. }));
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //!   → per-entity seed streams keep both paths on the same randomness.
 //!
 //! The crate under test is `abe-sim` (the kernel the shards are built
-//! from); `abe-core`/`abe-election` are dev-dependencies — a deliberate
-//! dev-only cycle so the differential suite can sit beside the kernel's
-//! other equivalence tests.
+//! from); `abe-core`/`abe-election`/`abe-consensus` are dev-dependencies
+//! — a deliberate dev-only cycle so the differential suite can sit beside
+//! the kernel's other equivalence tests. The consensus cases matter
+//! because Ben-Or flips *private coins* (per-node `SeedStream` children):
+//! the equivalence proves the coins are keyed by identity, not by
+//! execution order.
 
 use std::sync::Arc;
 
@@ -212,6 +215,78 @@ fn max_time_election_with_positive_lookahead_matches_sequential() {
     }
 }
 
+/// Asserts two Ben-Or outcomes agree on everything observable: the report
+/// plus every per-node vector (decisions, rounds, integrity counts).
+fn assert_benor_equal(
+    seq: &abe_consensus::ConsensusOutcome,
+    par: &abe_consensus::ConsensusOutcome,
+    what: &str,
+) {
+    assert_eq!(seq.report, par.report, "{what}: reports diverge");
+    assert_eq!(seq.decisions, par.decisions, "{what}: decisions diverge");
+    assert_eq!(seq.rounds, par.rounds, "{what}: rounds diverge");
+    assert_eq!(
+        seq.decide_events, par.decide_events,
+        "{what}: decide events diverge"
+    );
+}
+
+#[test]
+fn benor_consensus_matches_sequential_for_every_shard_count() {
+    // Ben-Or runs on the complete graph (not a ring), flips private coins
+    // from per-node SeedStream children, and ends in a stop request once
+    // every node halts — all three must survive the shard split.
+    for shards in [2, 4, 8] {
+        let seq = abe_consensus::ConsensusConfig::new(7, 2).seed(41);
+        let par = seq.clone().shards(shards);
+        let a = abe_consensus::run_benor(&seq, abe_consensus::InputAssignment::Split);
+        let b = abe_consensus::run_benor(&par, abe_consensus::InputAssignment::Split);
+        assert_benor_equal(&a, &b, &format!("benor split, shards={shards}"));
+    }
+}
+
+#[test]
+fn benor_under_churn_matches_sequential() {
+    // Crash-recover churn on top of consensus: fault statistics and the
+    // (possibly stalled) decision vectors must merge identically.
+    for (shards, seed) in [(2, 1u64), (4, 2), (8, 3)] {
+        let plan = FaultPlan::churn(9, 3, 30.0, 6.0, seed);
+        let seq = abe_consensus::ConsensusConfig::new(9, 2)
+            .seed(seed)
+            .fault(plan)
+            .max_events(400_000);
+        let par = seq.clone().shards(shards);
+        let a = abe_consensus::run_benor(&seq, abe_consensus::InputAssignment::Split);
+        let b = abe_consensus::run_benor(&par, abe_consensus::InputAssignment::Split);
+        assert_benor_equal(&a, &b, &format!("benor churn, shards={shards}"));
+        assert_eq!(
+            a.report.faults, b.report.faults,
+            "benor churn, shards={shards}: fault stats diverge"
+        );
+    }
+}
+
+#[test]
+fn reliable_broadcast_matches_sequential_for_every_shard_count() {
+    // BRB quiesces on its own (every message is sent at most once): the
+    // windowed path with no stop request, on a complete graph.
+    for shards in [2, 4, 8] {
+        let seq = abe_consensus::ConsensusConfig::new(10, 3).seed(17);
+        let par = seq.clone().shards(shards);
+        let a = abe_consensus::run_brb(&seq, 0xB10C);
+        let b = abe_consensus::run_brb(&par, 0xB10C);
+        assert_eq!(a.report, b.report, "brb shards={shards}: reports diverge");
+        assert_eq!(
+            a.delivered, b.delivered,
+            "brb shards={shards}: deliveries diverge"
+        );
+        assert_eq!(
+            a.delivered_at, b.delivered_at,
+            "brb shards={shards}: delivery times diverge"
+        );
+    }
+}
+
 /// The delay regimes the property sweep draws from: zero lookahead
 /// (exponential), positive lookahead (uniform), and tie-heavy positive
 /// lookahead (deterministic).
@@ -273,5 +348,36 @@ proptest! {
             hop_token_pair(n, seed, shards, delay, limits);
         prop_assert_eq!(seq_report, par_report);
         prop_assert_eq!(seq_relays, par_relays);
+    }
+
+    /// Same property for Ben-Or consensus on the complete graph: random
+    /// size, seed, shard count, delay regime and churn level never make
+    /// the sharded outcome diverge from the sequential one.
+    #[test]
+    fn sharded_benor_outcomes_are_identical(
+        n in 4u32..12,
+        seed in 0u64..1_000,
+        shards in 2u32..9,
+        delay in delay_strategy(),
+        unanimous in any::<bool>(),
+        churn_events in 0u32..3,
+    ) {
+        let mut cfg = abe_consensus::ConsensusConfig::new(n, (n - 1) / 3)
+            .seed(seed)
+            .delay(delay)
+            .max_events(400_000);
+        if churn_events > 0 {
+            cfg = cfg.fault(FaultPlan::churn(n, churn_events, 30.0, 4.0, seed));
+        }
+        let inputs = if unanimous {
+            abe_consensus::InputAssignment::Unanimous(true)
+        } else {
+            abe_consensus::InputAssignment::Split
+        };
+        let seq = abe_consensus::run_benor(&cfg, inputs);
+        let par = abe_consensus::run_benor(&cfg.clone().shards(shards), inputs);
+        prop_assert_eq!(&seq.report, &par.report);
+        prop_assert_eq!(&seq.decisions, &par.decisions);
+        prop_assert_eq!(&seq.rounds, &par.rounds);
     }
 }

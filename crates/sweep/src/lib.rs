@@ -50,6 +50,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+use abe_consensus::{BrbOutcome, ConsensusOutcome};
 use abe_core::NetworkReport;
 use abe_election::ElectionOutcome;
 use abe_sim::SeedStream;
@@ -506,6 +507,51 @@ impl CellMetrics {
             .metric("ticks", outcome.ticks as f64)
             .metric("leaders", outcome.leaders as f64)
             .with_report(&outcome.report)
+    }
+
+    /// Records the four outcome-class indicator metrics of a consensus
+    /// run (`decided`/`stalled`/`agreement_violation`/`validity_violation`,
+    /// exactly one set to 1) so group means read as class rates.
+    fn with_consensus_class(self, class: abe_core::fault::OutcomeClass) -> Self {
+        use abe_core::fault::OutcomeClass;
+        let ind = |c: OutcomeClass| if class == c { 1.0 } else { 0.0 };
+        self.metric("decided", ind(OutcomeClass::Decided))
+            .metric("stalled", ind(OutcomeClass::Stalled))
+            .metric("agreement_violation", ind(OutcomeClass::AgreementViolation))
+            .metric("validity_violation", ind(OutcomeClass::ValidityViolation))
+    }
+
+    /// Records the standard metrics of one Ben-Or consensus run: the
+    /// outcome-class indicators, the decided-node count, rounds to decide
+    /// (max round any node reached), message total, virtual time, plus
+    /// the report telemetry. Stalls are *data* here (class rates), not
+    /// panics — unlike [`with_election`](Self::with_election), which
+    /// asserts termination.
+    pub fn with_consensus(self, outcome: &ConsensusOutcome) -> Self {
+        self.with_consensus_class(outcome.class())
+            .metric("decided_nodes", f64::from(outcome.decided_count()))
+            .metric("rounds", outcome.max_round() as f64)
+            .metric("messages", outcome.report.messages_sent as f64)
+            .metric("time", outcome.time)
+            .with_report(&outcome.report)
+    }
+
+    /// Records the standard metrics of one reliable-broadcast run: the
+    /// outcome-class indicators, the delivered-node count, delivery
+    /// latency (last local delivery time — present only when at least one
+    /// node delivered), message total, virtual time, plus the report
+    /// telemetry.
+    pub fn with_brb(self, outcome: &BrbOutcome) -> Self {
+        let m = self
+            .with_consensus_class(outcome.class())
+            .metric("delivered_nodes", f64::from(outcome.delivered_count()))
+            .metric("messages", outcome.report.messages_sent as f64)
+            .metric("time", outcome.time)
+            .with_report(&outcome.report);
+        match outcome.latency() {
+            Some(latency) => m.metric("latency", latency),
+            None => m,
+        }
     }
 
     /// Reads one metric back.

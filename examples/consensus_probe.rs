@@ -1,0 +1,81 @@
+//! Consensus probe: what does adversarial scheduling cost Ben-Or?
+//!
+//! Randomized binary consensus is the classic customer of the ABE
+//! model: Ben-Or terminates with probability 1 under *any* admissible
+//! schedule, and Definition 1's expectation bound caps how much a legal
+//! adversary can stretch that. This example runs Ben-Or on a complete
+//! graph with split inputs (half the nodes propose 0, half propose 1 —
+//! the hard case, where only the private coins can break symmetry) and
+//! compares two worlds over the same eight seeds:
+//!
+//! * **oblivious** — plain exponential delays of mean δ, no adversary;
+//! * **adaptive, full budget** — the `TargetHeat` adversary from e17
+//!   spends a 4δ expectation budget on messages heading for hot nodes.
+//!
+//! Each run prints its rounds-to-decide, message total, and the
+//! `BudgetAuditor` verdict (max per-edge empirical delay mean, clamp
+//! count). Safety is asserted, not printed: every run must decide
+//! unanimously on a proposed value — the adversary only buys rounds.
+//!
+//! Run with:
+//!
+//! ```console
+//! $ cargo run --example consensus_probe
+//! ```
+
+use abe_networks::adversary::TargetHeat;
+use abe_networks::consensus::{run_benor, ConsensusConfig, InputAssignment};
+use abe_networks::core::{AdversaryPlan, OutcomeClass};
+
+const N: u32 = 9;
+const FAULTY: u32 = 2;
+const BUDGET: f64 = 4.0;
+const SEEDS: u64 = 8;
+
+fn drill(label: &str, adversarial: bool) -> f64 {
+    println!("{label}:");
+    println!(
+        "  {:>4}  {:>6}  {:>8}  {:>13}  {:>7}",
+        "seed", "rounds", "messages", "max edge mean", "clamped"
+    );
+    let mut mean_rounds = 0.0;
+    for seed in 0..SEEDS {
+        let mut cfg = ConsensusConfig::new(N, FAULTY).seed(seed);
+        if adversarial {
+            cfg =
+                cfg.adversary(AdversaryPlan::new(BUDGET, TargetHeat::new()).expect("valid budget"));
+        }
+        let o = run_benor(&cfg, InputAssignment::Split);
+        assert_eq!(o.class(), OutcomeClass::Decided, "every drill run decides");
+        assert_eq!(
+            o.report.adversary.violations, 0,
+            "legal ABE executions only"
+        );
+        mean_rounds += o.max_round() as f64 / SEEDS as f64;
+        println!(
+            "  {:>4}  {:>6}  {:>8}  {:>13.4}  {:>7}",
+            seed,
+            o.max_round(),
+            o.report.messages_sent,
+            o.report.adversary.max_edge_mean,
+            o.report.adversary.clamped
+        );
+    }
+    println!("  mean rounds-to-decide: {mean_rounds:.2}\n");
+    mean_rounds
+}
+
+fn main() {
+    println!(
+        "Ben-Or on the complete graph: n = {N}, f = {FAULTY}, split inputs, \
+         {SEEDS} seeds\n"
+    );
+    let baseline = drill("oblivious baseline (no adversary)", false);
+    let attacked = drill(&format!("adaptive adversary, budget {BUDGET}δ"), true);
+    println!(
+        "the worst legal schedule this family finds inflates mean rounds by \
+         {:.2}x\n(safety held in every run: scheduling attacks liveness margins, \
+         never agreement)",
+        attacked / baseline
+    );
+}

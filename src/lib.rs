@@ -27,6 +27,7 @@
 //! | [`core`](mod@core) | `abe-core` | delay/clock/processing models, topologies, protocol API, network runtime |
 //! | [`adversary`] | `abe-adversary` | budgeted scheduling adversaries (Definition 1's adversarial-delay clause) |
 //! | [`election`] | `abe-election` | the paper's §3 algorithm, ablation, Itai–Rodeh and Chang–Roberts baselines |
+//! | [`consensus`] | `abe-consensus` | Ben-Or binary consensus, Bracha reliable broadcast, BV-broadcast on complete ABE graphs |
 //! | [`sync`] | `abe-sync` | graph synchroniser (Theorem 1 floor), ABD synchroniser + violation counting, synchronous Itai–Rodeh |
 //! | [`stats`] | `abe-stats` | online moments, complexity-class fitting, tables |
 //! | [`wave`] | `abe-wave` | flooding broadcast and echo/PIF convergecast waves |
@@ -56,6 +57,7 @@
 #![deny(missing_docs)]
 
 pub use abe_adversary as adversary;
+pub use abe_consensus as consensus;
 pub use abe_core as core;
 pub use abe_election as election;
 pub use abe_live as live;
