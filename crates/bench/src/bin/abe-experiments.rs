@@ -389,7 +389,7 @@ fn print_help() {
         "abe-experiments — regenerate the ABE-networks evaluation\n\n\
          USAGE:\n  abe-experiments [--full|--quick|--smoke] [--threads N] [--json PATH]\n\
                   [--list] [--out FILE] [--csv DIR] [IDS...]\n\n\
-         IDS: e1 .. e20 (default: all). See DESIGN.md section 5 for the\n\
+         IDS: e1 .. e22 (default: all). See DESIGN.md section 5 for the\n\
          experiment-to-paper-claim mapping.\n\n\
          --smoke     minimal grids (CI perf gate)\n\
          --threads N sweep-engine worker count (default: all cores);\n\

@@ -1,0 +1,278 @@
+//! E22 — anti-entropy convergence under crash churn, partition windows,
+//! and budgeted scheduling adversaries.
+//!
+//! e21 measures the fault-free cost of reconciliation; this experiment
+//! stresses the same protocol with everything the substrate can throw at
+//! it. Crash/restart churn knocks replicas out mid-reconciliation, a
+//! partition window cuts a minority off until a heal time, and the
+//! adaptive scheduling adversary spends a Definition-1 delay budget
+//! against whichever replicas are still divergent. The question is how
+//! the failure mode degrades: anti-entropy should *stall late, never
+//! corrupt* — residual divergence and late convergence are data, but an
+//! invented entry (a `(key, version, payload)` nobody wrote) is a bug
+//! under every schedule.
+//!
+//! The partition heal time is the interesting control: live replicas on
+//! both sides hold fresh writes, so the network *cannot* converge before
+//! the cut heals — measured convergence time should track the heal time
+//! with a roughly constant reconciliation tail.
+
+use abe_adversary::TargetHeat;
+use abe_core::fault::FaultPlan;
+use abe_core::AdversaryPlan;
+use abe_sim::SeedStream;
+use abe_statesync::{run_antientropy, SyncConfig};
+use abe_stats::{fmt_num, Table};
+
+use crate::sweep::{CellMetrics, SweepSpec};
+use crate::{ExperimentReport, RunCtx};
+
+/// Expected delay bound δ (exponential mean on every edge).
+pub const DELTA: f64 = 1.0;
+/// Key universe size.
+pub const KEY_SPACE: u32 = 128;
+/// Fresh-write fraction injected in every run.
+pub const DIVERGENCE: f64 = 0.25;
+/// Outage length of one churn event, in units of δ.
+pub const DOWNTIME: f64 = 4.0;
+/// Window the churn events are spread over: reconciliation on `K_n`
+/// completes in a handful of δ, so outages land mid-convergence.
+pub const HORIZON: f64 = 12.0;
+/// The minority the partition window cuts off (when `heal > 0`).
+pub const MINORITY: [u32; 2] = [0, 1];
+
+/// Runs E22.
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let n: u32 = ctx.scale.pick3(5, 8, 12);
+    let churn: &[u32] = ctx
+        .scale
+        .pick3(&[0, 2][..], &[0, 2, 4][..], &[0, 2, 4, 8][..]);
+    let heals: &[f64] = ctx.scale.pick3(
+        &[0.0, 6.0][..],
+        &[0.0, 3.0, 6.0][..],
+        &[0.0, 3.0, 6.0, 12.0][..],
+    );
+    let budgets: &[f64] = ctx.scale.pick3(
+        &[0.0, 4.0][..],
+        &[0.0, 2.0, 4.0][..],
+        &[0.0, 2.0, 4.0, 8.0][..],
+    );
+    let reps = ctx.scale.pick3(2, 6, 25);
+
+    let spec = SweepSpec::new()
+        .axis_u32("churn", churn)
+        .axis_f64("heal", heals)
+        .axis_f64("budget", budgets)
+        .seeds(reps);
+    let outcome = ctx.sweep(spec, |cell| {
+        let mut plan = FaultPlan::churn(
+            n,
+            cell.u32("churn"),
+            HORIZON * DELTA,
+            DOWNTIME * DELTA,
+            SeedStream::new(cell.seed()).child_seed("churn-plan", 0),
+        );
+        let heal = cell.f64("heal");
+        if heal > 0.0 {
+            plan = plan.partition(MINORITY.to_vec(), 0.0, heal * DELTA);
+        }
+        let budget = cell.f64("budget");
+        let adversary = if budget > 0.0 {
+            AdversaryPlan::new(budget, TargetHeat::new()).expect("valid budget")
+        } else {
+            AdversaryPlan::none()
+        };
+        let adversarial = budget > 0.0;
+        let cfg = SyncConfig::new(n, KEY_SPACE)
+            .divergence(DIVERGENCE)
+            .seed(cell.seed())
+            .fault(plan)
+            .adversary(adversary)
+            .shards(ctx.shards);
+        let o = run_antientropy(&cfg);
+        let metrics = CellMetrics::new()
+            .with_sync(&o)
+            .metric("invented", o.invented().len() as f64)
+            .with_faults(&o.report);
+        if adversarial {
+            metrics.with_adversary(&o.report)
+        } else {
+            // Baseline cells carry no auditor telemetry: nothing audited.
+            metrics
+        }
+    });
+
+    let calm = outcome
+        .group_at(&[("churn", 0), ("heal", 0), ("budget", 0)])
+        .expect("calm baseline group");
+    let calm_time = calm.mean("time");
+    let healed = outcome
+        .group_at(&[("churn", 0), ("heal", heals.len() - 1), ("budget", 0)])
+        .expect("widest heal group");
+    let heal_delay = healed.mean("time") - calm_time;
+
+    let mut table = Table::new(&[
+        "churn",
+        "heal",
+        "budget",
+        "converged rate",
+        "residual (mean)",
+        "rounds (mean)",
+        "time (mean)",
+        "wire bytes (mean)",
+    ]);
+    let mut total_invented = 0.0f64;
+    let mut min_converged = 1.0f64;
+    let mut worst_edge_mean_ratio = 0.0f64;
+    let mut adaptive_time_inflation = 0.0f64;
+    for group in outcome.groups() {
+        let converged = group.mean("converged");
+        min_converged = min_converged.min(converged);
+        total_invented += {
+            let o = group.online("invented");
+            o.mean() * o.count() as f64
+        };
+        let time = group.mean("time");
+        let budget = group.value("budget").as_f64();
+        if budget > 0.0 {
+            let max_mean = group
+                .online("adv_max_edge_mean")
+                .max()
+                .expect("adversarial groups audit every run");
+            worst_edge_mean_ratio = worst_edge_mean_ratio.max(max_mean / budget);
+            if group.idx("churn") == 0
+                && group.idx("heal") == 0
+                && group.idx("budget") == budgets.len() - 1
+            {
+                adaptive_time_inflation = time / calm_time;
+            }
+        }
+        table.row(&[
+            group.value("churn").to_string(),
+            fmt_num(group.value("heal").as_f64()),
+            if budget > 0.0 {
+                fmt_num(budget)
+            } else {
+                "-".to_string()
+            },
+            format!("{converged:.2}"),
+            fmt_num(group.mean("residual_divergence")),
+            fmt_num(group.mean("rounds")),
+            fmt_num(time),
+            fmt_num(group.mean("wire_bytes")),
+        ]);
+    }
+
+    let findings = vec![
+        format!(
+            "anti-entropy degrades by stalling, never by corrupting: {} invented \
+             entries anywhere in the grid — every (key, version, payload) any \
+             replica ever holds traces back to the base image or a fresh write, \
+             under every churn pattern, partition, and adversary strategy",
+            fmt_num(total_invented)
+        ),
+        format!(
+            "the worst per-group converged rate is {min_converged:.2}; \
+             non-converged runs carry their residual divergence as data \
+             (stranded minorities and round-capped stragglers), and the calm \
+             baseline converges in {} δ on average",
+            fmt_num(calm_time)
+        ),
+        format!(
+            "partition heal time lower-bounds convergence, as it must: fresh \
+             writes live on both sides of the cut, so healing at {}δ delays \
+             convergence by {} δ over the calm baseline — the heal window plus a \
+             roughly constant reconciliation tail",
+            fmt_num(heals[heals.len() - 1]),
+            fmt_num(heal_delay)
+        ),
+        format!(
+            "the adaptive adversary at full budget ({}δ) inflates mean \
+             convergence time to {adaptive_time_inflation:.2}x the calm baseline \
+             while every adversarial run stayed a legal ABE execution: per-edge \
+             empirical delay means at most {worst_edge_mean_ratio:.4}x their \
+             configured Definition-1 bound",
+            budgets[budgets.len() - 1]
+        ),
+        format!(
+            "parameters: n = {n} on K_n, key space {KEY_SPACE}, divergence \
+             {DIVERGENCE}, churn in {churn:?} crash/restart events over a \
+             {HORIZON}δ window with {DOWNTIME}δ outages, minority {MINORITY:?} \
+             partitioned until heal in {heals:?} (0 = no partition), adaptive \
+             TargetHeat budgets {budgets:?} (0 = oblivious), δ = {DELTA}, {reps} \
+             seeds per point"
+        ),
+    ];
+
+    ExperimentReport {
+        id: "E22",
+        title: "Anti-entropy sync under churn, partitions, and adversaries",
+        claim: "under crash churn, partition windows, and budgeted adversarial \
+                scheduling, anti-entropy on an ABE network degrades to late or \
+                partial convergence — residual divergence is measurable data — \
+                but never invents state, and partition heal time bounds \
+                convergence from below",
+        table,
+        findings,
+        sweep: outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_never_invents_and_calm_cells_converge() {
+        let report = run(&RunCtx::smoke());
+        assert_eq!(report.id, "E22");
+        // 2 churn levels × 2 heal times × 2 budgets × 2 seeds.
+        assert_eq!(report.sweep.cells.len(), 2 * 2 * 2 * 2);
+        for cell in &report.sweep.cells {
+            let label = cell.cell.label();
+            assert_eq!(cell.metrics.get("invented"), Some(0.0), "{label}");
+            assert!(cell.metrics.get("wire_bytes").unwrap() > 0.0, "{label}");
+            let converged = cell.metrics.get("converged").unwrap();
+            let residual = cell.metrics.get("residual_divergence").unwrap();
+            // Converged and residual divergence must agree.
+            assert_eq!(converged == 1.0, residual == 0.0, "{label}");
+            if cell.cell.u32("churn") == 0 && cell.cell.f64("budget") == 0.0 {
+                // Calm and partition-only cells must fully converge: the
+                // cut heals well before the round budget runs out.
+                assert_eq!(converged, 1.0, "{label}");
+            }
+            if cell.cell.f64("budget") > 0.0 {
+                let budget = cell.cell.f64("budget");
+                let max_mean = cell.metrics.get("adv_max_edge_mean").unwrap();
+                assert!(
+                    max_mean <= budget * (1.0 + 1e-9),
+                    "{label}: mean {max_mean} over budget {budget}"
+                );
+                assert_eq!(
+                    cell.metrics.get_counter("adv_violations"),
+                    Some(0),
+                    "{label}"
+                );
+            } else {
+                assert_eq!(cell.metrics.get("adv_max_edge_mean"), None, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_heal_delays_convergence() {
+        let report = run(&RunCtx::smoke());
+        let calm = report
+            .sweep
+            .group_at(&[("churn", 0), ("heal", 0), ("budget", 0)])
+            .expect("calm group");
+        let healed = report
+            .sweep
+            .group_at(&[("churn", 0), ("heal", 1), ("budget", 0)])
+            .expect("healed group");
+        // Fresh writes live on both sides of the cut, so convergence
+        // cannot beat the heal time (6δ in the smoke grid).
+        assert!(healed.mean("time") >= 6.0 * DELTA);
+        assert!(healed.mean("time") > calm.mean("time"));
+    }
+}

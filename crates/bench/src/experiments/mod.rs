@@ -17,6 +17,8 @@ pub mod e18_reorder_sync;
 pub mod e19_benor;
 pub mod e1_messages;
 pub mod e20_brb;
+pub mod e21_antientropy;
+pub mod e22_churn_sync;
 pub mod e2_time;
 pub mod e3_activation;
 pub mod e4_baselines;

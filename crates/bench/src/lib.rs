@@ -286,6 +286,16 @@ pub fn registry() -> Vec<Experiment> {
             about: "reliable broadcast latency and messages vs fault budget and churn",
             run: experiments::e20_brb::run,
         },
+        Experiment {
+            id: "e21",
+            about: "anti-entropy sync: convergence and wire bytes vs divergence",
+            run: experiments::e21_antientropy::run,
+        },
+        Experiment {
+            id: "e22",
+            about: "anti-entropy sync under churn, partitions, and adversaries",
+            run: experiments::e22_churn_sync::run,
+        },
     ]
 }
 
@@ -298,10 +308,10 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
         let mut sorted = ids.clone();
         sorted.dedup();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 22);
         assert_eq!(ids.len(), sorted.len());
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids[19], "e20");
+        assert_eq!(ids[21], "e22");
     }
 
     #[test]

@@ -378,6 +378,55 @@ mod consensus_regression {
     }
 }
 
+mod sync_regression {
+    //! Data-plane determinism regressions: anti-entropy's dirty-key draws,
+    //! gossip pairings, and digest walks all come from per-node
+    //! `SeedStream` children, so e21 and e22 must stay bit-identical
+    //! across worker counts — and their documents must carry the
+    //! convergence indicators the campaign oracles read.
+
+    use super::*;
+    use abe_bench::experiments::{e21_antientropy, e22_churn_sync};
+
+    #[test]
+    fn e21_smoke_is_byte_identical_across_thread_counts() {
+        let single = e21_antientropy::run(&RunCtx::new(Scale::Smoke, 1));
+        let parallel = e21_antientropy::run(&RunCtx::new(Scale::Smoke, 8));
+        assert_eq!(single.sweep.metrics_json(), parallel.sweep.metrics_json());
+        assert_eq!(single.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(single.findings, parallel.findings);
+    }
+
+    #[test]
+    fn e22_smoke_is_byte_identical_across_thread_counts() {
+        let single = e22_churn_sync::run(&RunCtx::new(Scale::Smoke, 1));
+        let parallel = e22_churn_sync::run(&RunCtx::new(Scale::Smoke, 8));
+        assert_eq!(single.sweep.metrics_json(), parallel.sweep.metrics_json());
+        assert_eq!(single.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(single.findings, parallel.findings);
+    }
+
+    #[test]
+    fn sync_experiment_documents_are_valid_json_with_convergence_indicators() {
+        for (report, id) in [
+            (e21_antientropy::run(&RunCtx::new(Scale::Smoke, 2)), "e21"),
+            (e22_churn_sync::run(&RunCtx::new(Scale::Smoke, 2)), "e22"),
+        ] {
+            let doc = abe_bench::sweep::json::document(&report, "smoke");
+            assert_valid_json(&doc);
+            assert!(doc.contains(&format!("\"experiment\":\"{id}\"")));
+            assert!(
+                doc.contains("\"converged\"") && doc.contains("\"residual_divergence\""),
+                "{id} lacks convergence indicators"
+            );
+            assert!(doc.contains("\"wire_bytes\""));
+            assert!(doc.contains("\"sync_entries_sent\""));
+            assert!(doc.contains("\"payload_bytes\""));
+            assert!(!report.sweep.cells.is_empty());
+        }
+    }
+}
+
 mod scenario_differential {
     //! The declarative corpus must be *the same experiments as data*:
     //! compiling `scenarios/e1_messages.abes` and running it must
@@ -446,6 +495,21 @@ mod scenario_differential {
             handwritten.sweep.metrics_json(),
             "e19 scenario diverges from e19_benor.rs"
         );
+    }
+
+    #[test]
+    fn declarative_e21_is_byte_identical_to_the_handwritten_experiment() {
+        let compiled = compile(&corpus_scenario("e21_antientropy.abes")).unwrap();
+        for threads in [1usize, 8] {
+            let declarative = compiled.run(threads).unwrap();
+            let handwritten =
+                experiments::e21_antientropy::run(&RunCtx::new(Scale::Smoke, threads));
+            assert_eq!(
+                declarative.metrics_json(),
+                handwritten.sweep.metrics_json(),
+                "e21 scenario diverges from e21_antientropy.rs at {threads} threads"
+            );
+        }
     }
 
     #[test]

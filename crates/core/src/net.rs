@@ -116,6 +116,11 @@ pub struct NetworkReport {
     pub in_flight: u64,
     /// Local clock ticks dispatched.
     pub ticks: u64,
+    /// Data-plane payload bytes accounted via [`Ctx::send_sized`],
+    /// accumulated at *send* time (like `messages_sent`) so the total is
+    /// identical under sequential and sharded execution. Control-plane
+    /// protocols that only use [`Ctx::send`] report zero.
+    pub payload_bytes: u64,
     /// Kernel event-queue telemetry (scheduled/cancelled/popped) for the
     /// whole run, so harness output can report raw engine activity.
     pub queue_stats: QueueStats,
@@ -150,6 +155,7 @@ impl PartialEq for NetworkReport {
             && self.messages_delivered == other.messages_delivered
             && self.in_flight == other.in_flight
             && self.ticks == other.ticks
+            && self.payload_bytes == other.payload_bytes
             && queue_eq
             && self.faults == other.faults
             && self.adversary == other.adversary
@@ -205,6 +211,7 @@ pub struct Network<P: Protocol> {
     pub(crate) messages_sent: u64,
     pub(crate) messages_delivered: u64,
     pub(crate) ticks: u64,
+    pub(crate) payload_bytes: u64,
     pub(crate) trace: Option<TraceBuffer<String>>,
     pub(crate) faults: FaultRuntime,
     pub(crate) adversary: Option<AdversaryRuntime>,
@@ -242,6 +249,7 @@ where
             messages_sent: self.messages_sent,
             messages_delivered: self.messages_delivered,
             ticks: self.ticks,
+            payload_bytes: self.payload_bytes,
             trace: self.trace.clone(),
             faults: self.faults.clone(),
             adversary: self.adversary.clone(),
@@ -327,6 +335,7 @@ impl<P: Protocol> Network<P> {
             messages_sent: 0,
             messages_delivered: 0,
             ticks: 0,
+            payload_bytes: 0,
             trace: (trace_capacity > 0).then(|| TraceBuffer::new(trace_capacity)),
             faults,
             adversary,
@@ -448,6 +457,7 @@ impl<P: Protocol> Network<P> {
             messages_delivered: net.messages_delivered,
             in_flight: net.messages_sent - net.messages_delivered - net.faults.stats.dropped(),
             ticks: net.ticks,
+            payload_bytes: net.payload_bytes,
             queue_stats: kernel_report.queue_stats,
             faults: net.faults.stats,
             adversary: net
@@ -475,7 +485,7 @@ impl<P: Protocol> Network<P> {
         let network_size = self.topo.node_count();
 
         let local = self.node_slot(node_index);
-        let (outbox, counters, stop) = {
+        let (outbox, counters, payload_bytes, stop) = {
             let reply_ports = &self.reply_ports[node_index as usize];
             let slot = &mut self.nodes[local];
             let local_time = slot.clock.advance_to(step.now());
@@ -501,6 +511,7 @@ impl<P: Protocol> Network<P> {
         for (name, amount) in counters {
             *self.counters.entry(name).or_insert(0) += amount;
         }
+        self.payload_bytes += payload_bytes;
         if stop {
             step.request_stop();
         }

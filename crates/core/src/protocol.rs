@@ -160,8 +160,9 @@ pub(crate) type Outbox<M> = SmallVec<[(OutPort, M); INLINE_EFFECTS]>;
 /// Inline counter buffer: `(name, amount)` increments in call order.
 pub(crate) type CounterBumps = SmallVec<[(&'static str, u64); INLINE_EFFECTS]>;
 
-/// Internal tuple form of the collected effects.
-pub(crate) type RawEffects<M> = (Outbox<M>, CounterBumps, bool);
+/// Internal tuple form of the collected effects:
+/// `(outbox, counters, payload bytes, stop)`.
+pub(crate) type RawEffects<M> = (Outbox<M>, CounterBumps, u64, bool);
 
 /// Effects collected by a [`Ctx`] during one handler dispatch.
 ///
@@ -173,6 +174,9 @@ pub struct CtxEffects<M> {
     pub sends: Vec<(OutPort, M)>,
     /// Counter increments to aggregate.
     pub counters: Vec<(&'static str, u64)>,
+    /// Total declared payload bytes of this dispatch's sends (see
+    /// [`Ctx::send_sized`]).
+    pub payload_bytes: u64,
     /// Whether the handler requested a global stop.
     pub stop: bool,
 }
@@ -191,6 +195,7 @@ pub struct Ctx<'a, M> {
     rng: &'a mut Xoshiro256PlusPlus,
     outbox: Outbox<M>,
     counters: CounterBumps,
+    payload_bytes: u64,
     stop: bool,
 }
 
@@ -213,6 +218,7 @@ impl<'a, M> Ctx<'a, M> {
             rng,
             outbox: SmallVec::new(),
             counters: SmallVec::new(),
+            payload_bytes: 0,
             stop: false,
         }
     }
@@ -231,6 +237,25 @@ impl<'a, M> Ctx<'a, M> {
             self.out_degree
         );
         self.outbox.push((port, msg));
+    }
+
+    /// Sends `msg` on the outgoing edge at `port`, declaring its wire size.
+    ///
+    /// Control-plane tokens have no meaningful size and use
+    /// [`send`](Self::send) (0 bytes). Data-plane protocols — where message
+    /// *size* is part of the measurement — declare their serialized payload
+    /// size here; the runtime aggregates the total into
+    /// [`NetworkReport::payload_bytes`](crate::NetworkReport). Bytes are
+    /// accounted at send time (like `messages_sent`), so totals are
+    /// identical at any `--shards` setting and unaffected by later drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not below [`out_degree`](Self::out_degree).
+    #[track_caller]
+    pub fn send_sized(&mut self, port: OutPort, msg: M, bytes: u64) {
+        self.send(port, msg);
+        self.payload_bytes += bytes;
     }
 
     /// The node's local clock reading (local seconds).
@@ -296,9 +321,9 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Consumes the context, returning collected effects
-    /// `(outbox, counters, stop)`.
+    /// `(outbox, counters, payload bytes, stop)`.
     pub(crate) fn into_effects(self) -> RawEffects<M> {
-        (self.outbox, self.counters, self.stop)
+        (self.outbox, self.counters, self.payload_bytes, self.stop)
     }
 
     /// Creates a context for an **external runtime** (one not built on the
@@ -334,6 +359,7 @@ impl<'a, M> Ctx<'a, M> {
         CtxEffects {
             sends: self.outbox.into_vec(),
             counters: self.counters.into_vec(),
+            payload_bytes: self.payload_bytes,
             stop: self.stop,
         }
     }
@@ -367,9 +393,32 @@ mod tests {
         let mut ctx: Ctx<'_, u32> = Ctx::new(0.0, 4, 2, 1, &[], &mut r);
         ctx.send(OutPort(0), 10);
         ctx.send(OutPort(1), 20);
-        let (outbox, _, _) = ctx.into_effects();
+        let (outbox, _, bytes, _) = ctx.into_effects();
         assert!(!outbox.spilled(), "small outboxes must stay inline");
         assert_eq!(outbox.into_vec(), vec![(OutPort(0), 10), (OutPort(1), 20)]);
+        assert_eq!(bytes, 0, "plain sends declare no payload size");
+    }
+
+    #[test]
+    fn sized_sends_accumulate_payload_bytes() {
+        let mut r = rng();
+        let mut ctx: Ctx<'_, u32> = Ctx::new(0.0, 4, 2, 1, &[], &mut r);
+        ctx.send_sized(OutPort(0), 10, 16);
+        ctx.send(OutPort(1), 20);
+        ctx.send_sized(OutPort(1), 30, 24);
+        let (outbox, _, bytes, _) = ctx.into_effects();
+        assert_eq!(outbox.len(), 3, "sized sends still enqueue messages");
+        assert_eq!(bytes, 40);
+    }
+
+    #[test]
+    fn finish_exposes_payload_bytes() {
+        let mut r = rng();
+        let mut ctx: Ctx<'_, u32> = Ctx::external(0.0, 2, 1, 1, &[], &mut r);
+        ctx.send_sized(OutPort(0), 1, 8);
+        let effects = ctx.finish();
+        assert_eq!(effects.sends, vec![(OutPort(0), 1)]);
+        assert_eq!(effects.payload_bytes, 8);
     }
 
     #[test]
@@ -397,7 +446,7 @@ mod tests {
         ctx.count("knockout", 2);
         ctx.count("knockout", 1);
         ctx.stop_network();
-        let (_, counters, stop) = ctx.into_effects();
+        let (_, counters, _, stop) = ctx.into_effects();
         assert_eq!(counters.into_vec(), vec![("knockout", 2), ("knockout", 1)]);
         assert!(stop);
     }

@@ -330,6 +330,7 @@ where
         messages_sent,
         messages_delivered,
         ticks,
+        payload_bytes,
         trace: _,
         faults,
         adversary: _,
@@ -374,13 +375,19 @@ where
     let mut node_chunks = node_chunks.into_iter();
     let mut chan_chunks = chan_chunks.into_iter();
     let mut rank_chunks = rank_chunks.into_iter();
-    let mut baseline = Some((counters, messages_sent, messages_delivered, ticks));
+    let mut baseline = Some((
+        counters,
+        messages_sent,
+        messages_delivered,
+        ticks,
+        payload_bytes,
+    ));
     for s in 0..shards {
         let (lo, hi) = (bounds[s], bounds[s + 1]);
         // Shard 0 inherits the pre-run accumulators (normally zero; kept
         // so totals remain lifetime totals, exactly like `run`).
-        let (counters, sent, delivered, ticks) =
-            baseline.take().unwrap_or((BTreeMap::new(), 0, 0, 0));
+        let (counters, sent, delivered, ticks, payload_bytes) =
+            baseline.take().unwrap_or((BTreeMap::new(), 0, 0, 0, 0));
         let mut shard_faults = faults.clone();
         if s > 0 {
             shard_faults.stats = crate::fault::FaultStats::default();
@@ -398,6 +405,7 @@ where
             messages_sent: sent,
             messages_delivered: delivered,
             ticks,
+            payload_bytes,
             trace: None,
             faults: shard_faults,
             adversary: None,
@@ -475,6 +483,7 @@ fn merge<P: Protocol>(
     let mut messages_sent = 0u64;
     let mut messages_delivered = 0u64;
     let mut ticks = 0u64;
+    let mut payload_bytes = 0u64;
 
     // Fault state: start from shard 0's runtime (it carries the baseline
     // stats), fold in sibling stats, and adopt each node's down-state from
@@ -495,6 +504,7 @@ fn merge<P: Protocol>(
         messages_sent += world.messages_sent;
         messages_delivered += world.messages_delivered;
         ticks += world.ticks;
+        payload_bytes += world.payload_bytes;
         let (lo, hi) = ranges[s];
         match faults.as_mut() {
             None => faults = Some(world.faults.clone()),
@@ -524,6 +534,7 @@ fn merge<P: Protocol>(
         messages_sent,
         messages_delivered,
         ticks,
+        payload_bytes,
         trace: None,
         faults,
         adversary: None,
@@ -542,6 +553,7 @@ fn merge<P: Protocol>(
         messages_delivered: net.messages_delivered,
         in_flight: net.messages_sent - net.messages_delivered - net.faults.stats.dropped(),
         ticks: net.ticks,
+        payload_bytes: net.payload_bytes,
         queue_stats,
         faults: net.faults.stats,
         adversary: AdversaryStats::default(),

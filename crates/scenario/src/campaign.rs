@@ -256,6 +256,24 @@ fn classify(record: RecordMode, metrics: &abe_sweep::CellMetrics) -> Result<Outc
                 )),
             }
         }
+        RecordMode::Sync => {
+            let converged = metrics
+                .get("converged")
+                .ok_or_else(|| "missing `converged` metric".to_string())?;
+            let residual = metrics
+                .get("residual_divergence")
+                .ok_or_else(|| "missing `residual_divergence` metric".to_string())?;
+            // The indicator and its witness must agree: a converged run
+            // has zero residual divergence, a stalled run has some.
+            match (converged, residual == 0.0) {
+                (1.0, true) => Ok(OutcomeClass::Decided),
+                (0.0, false) => Ok(OutcomeClass::Stalled),
+                _ => Err(format!(
+                    "convergence indicators disagree \
+                     (converged={converged}, residual_divergence={residual})"
+                )),
+            }
+        }
     }
 }
 

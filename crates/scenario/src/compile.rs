@@ -25,6 +25,7 @@ use abe_election::{
     RingConfig, RingKind,
 };
 use abe_sim::SeedStream;
+use abe_statesync::{run_antientropy, SyncConfig};
 use abe_sweep::{run_sweep, Cell, CellMetrics, SweepError, SweepOutcome, SweepSpec};
 
 use crate::model::{
@@ -34,6 +35,11 @@ use crate::model::{
 
 /// The adversary strategy vocabulary, baseline first (mirrors e17).
 pub const STRATEGIES: [&str; 5] = ["none", "swap", "burst", "reorder", "adaptive"];
+
+/// The delay-family vocabulary of the `delay` axis (mirrors e21): every
+/// family is calibrated to the mean of the `delay @delay mean=M`
+/// directive.
+pub const DELAY_FAMILIES: [&str; 3] = ["exp", "uniform", "det"];
 
 /// The payload node 0 floods in `protocol brb` scenarios (mirrors e20).
 pub const BRB_PAYLOAD: u32 = 0xB10C;
@@ -47,6 +53,8 @@ fn static_axis_name(name: &str) -> Option<&'static str> {
         "churn" => Some("churn"),
         "budget" => Some("budget"),
         "strategy" => Some("strategy"),
+        "divergence" => Some("divergence"),
+        "delay" => Some("delay"),
         _ => None,
     }
 }
@@ -55,8 +63,8 @@ fn static_axis_name(name: &str) -> Option<&'static str> {
 fn axis_type_ok(name: &str, values: &AxisValues) -> bool {
     match name {
         "n" | "churn" => matches!(values, AxisValues::U32(_)),
-        "budget" => matches!(values, AxisValues::F64(_)),
-        "topo" | "strategy" => matches!(values, AxisValues::Str(_)),
+        "budget" | "divergence" => matches!(values, AxisValues::F64(_)),
+        "topo" | "strategy" | "delay" => matches!(values, AxisValues::Str(_)),
         _ => false,
     }
 }
@@ -93,6 +101,13 @@ fn value_texts(values: &AxisValues) -> Vec<String> {
     }
 }
 
+/// The lowered delay model: fixed, or one calibrated model per `delay`
+/// axis family.
+enum DelayLowered {
+    Fixed(SharedDelay),
+    PerFamily(Vec<SharedDelay>),
+}
+
 /// A validated scenario, ready to run.
 ///
 /// Holds the scenario plus the resolved pieces the per-cell runner
@@ -101,7 +116,7 @@ fn value_texts(values: &AxisValues) -> Vec<String> {
 /// pairs). Construction is [`compile`]'s job.
 pub struct CompiledScenario {
     scenario: Scenario,
-    delay: SharedDelay,
+    delay: DelayLowered,
     /// Ring kind per `topo` axis value; empty when the topology is fixed.
     topo_kinds: Vec<RingKind>,
     /// Ring kind when the topology is fixed.
@@ -150,7 +165,7 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
         if static_axis_name(&axis.name).is_none() {
             return Err(ScenarioError::field(
                 &field,
-                "unknown axis (known: n, topo, churn, budget, strategy)",
+                "unknown axis (known: n, topo, churn, budget, strategy, divergence, delay)",
             ));
         }
         if !axis_type_ok(&axis.name, &axis.values) {
@@ -224,15 +239,32 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
                 ));
             }
         }
+        ProtocolSpec::Antientropy { key_space } => {
+            if key_space == 0 {
+                return Err(ScenarioError::field(
+                    "protocol.key-space",
+                    "the key universe must have at least one key",
+                ));
+            }
+            if scenario.topology != TopologySpec::Complete {
+                return Err(ScenarioError::field(
+                    "topology",
+                    "anti-entropy runs on the complete graph; write `topology complete`",
+                ));
+            }
+        }
     }
 
     // The consensus family is all-or-nothing: a consensus protocol, the
-    // complete graph, and the consensus record mode come together.
+    // complete graph, and the consensus record mode come together. The
+    // same holds for anti-entropy sync with `record sync`.
     let consensus = scenario.protocol.is_consensus();
-    if scenario.topology == TopologySpec::Complete && !consensus {
+    let sync = scenario.protocol.is_sync();
+    if scenario.topology == TopologySpec::Complete && !consensus && !sync {
         return Err(ScenarioError::field(
             "topology",
-            "the complete graph is reserved for consensus protocols (benor, brb)",
+            "the complete graph is reserved for consensus and sync protocols \
+             (benor, brb, antientropy)",
         ));
     }
     if (scenario.record == RecordMode::Consensus) != consensus {
@@ -244,6 +276,69 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
                 "the consensus record mode requires a consensus protocol (benor, brb)"
             },
         ));
+    }
+    if (scenario.record == RecordMode::Sync) != sync {
+        return Err(ScenarioError::field(
+            "record",
+            if sync {
+                "`protocol antientropy` requires `record sync`"
+            } else {
+                "the sync record mode requires `protocol antientropy`"
+            },
+        ));
+    }
+
+    // Divergence: required by (and exclusive to) anti-entropy; the
+    // `divergence` axis and the `divergence @divergence` bind pair up
+    // like every other driven axis, and every fraction lies in (0, 1].
+    let check_divergence = |d: f64, field: &str| -> Result<(), ScenarioError> {
+        if d.is_finite() && d > 0.0 && d <= 1.0 {
+            Ok(())
+        } else {
+            Err(ScenarioError::field(
+                field,
+                format!("must lie in (0, 1], got {d}"),
+            ))
+        }
+    };
+    match &scenario.divergence {
+        None if sync => {
+            return Err(ScenarioError::Missing {
+                field: "divergence".to_string(),
+            });
+        }
+        Some(_) if !sync => {
+            return Err(ScenarioError::field(
+                "divergence",
+                "applies to `protocol antientropy` only",
+            ));
+        }
+        Some(Bind::Fixed(d)) => check_divergence(*d, "divergence")?,
+        _ => {}
+    }
+    let divergence_binds_axis = scenario.divergence == Some(Bind::Axis);
+    match (axis("divergence").is_some(), divergence_binds_axis) {
+        (true, false) => {
+            return Err(ScenarioError::field(
+                "axis.divergence",
+                "has no consumer; bind it with `divergence @divergence`",
+            ));
+        }
+        (false, true) => {
+            return Err(ScenarioError::Missing {
+                field: "axis.divergence".to_string(),
+            });
+        }
+        _ => {}
+    }
+    if let Some(AxisSpec {
+        values: AxisValues::F64(fractions),
+        ..
+    }) = axis("divergence")
+    {
+        for &d in fractions {
+            check_divergence(d, "axis.divergence")?;
+        }
     }
 
     // Fault budget: consensus-only, and every network size on the grid
@@ -281,8 +376,36 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
     }
 
     // Delay model: build it once; parameters are checked here with
-    // field-level errors, then by the constructor itself.
-    let delay = build_delay(&scenario.delay)?;
+    // field-level errors, then by the constructor itself. A `delay`
+    // axis pairs with `delay @delay mean=M` exactly like `topo` pairs
+    // with `topology @topo`, and lowers to one calibrated model per
+    // family value.
+    let delay = match (&scenario.delay, axis("delay")) {
+        (DelaySpec::Axis { .. }, None) => {
+            return Err(ScenarioError::Missing {
+                field: "axis.delay".to_string(),
+            });
+        }
+        (DelaySpec::Axis { mean }, Some(a)) => {
+            check_finite_positive(*mean, "delay.mean")?;
+            let AxisValues::Str(values) = &a.values else {
+                unreachable!("axis types validated above")
+            };
+            DelayLowered::PerFamily(
+                values
+                    .iter()
+                    .map(|f| family_delay(f, *mean))
+                    .collect::<Result<_, _>>()?,
+            )
+        }
+        (_, Some(_)) => {
+            return Err(ScenarioError::field(
+                "axis.delay",
+                "declared, but the delay is fixed; write `delay @delay mean=M`",
+            ));
+        }
+        (spec, None) => DelayLowered::Fixed(build_delay(spec)?),
+    };
 
     // Topology axis <-> `topology @topo`.
     let topo_kinds: Vec<RingKind> = match (scenario.topology, axis("topo")) {
@@ -485,6 +608,25 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
     })
 }
 
+/// One `delay` axis family, calibrated to the directive's mean exactly
+/// as the hand-written e21 calibrates its families to δ.
+fn family_delay(family: &str, mean: f64) -> Result<SharedDelay, ScenarioError> {
+    Ok(match family {
+        "exp" => Arc::new(Exponential::from_mean(mean).expect("validated")),
+        "uniform" => Arc::new(Uniform::new(0.5 * mean, 1.5 * mean).expect("validated")),
+        "det" => Arc::new(Deterministic::new(mean).expect("validated")),
+        other => {
+            return Err(ScenarioError::field(
+                "axis.delay",
+                format!(
+                    "unknown delay family `{other}` (known: {})",
+                    DELAY_FAMILIES.join(", ")
+                ),
+            ));
+        }
+    })
+}
+
 fn build_delay(spec: &DelaySpec) -> Result<SharedDelay, ScenarioError> {
     Ok(match *spec {
         DelaySpec::Exponential { mean } => {
@@ -518,6 +660,7 @@ fn build_delay(spec: &DelaySpec) -> Result<SharedDelay, ScenarioError> {
             check_finite_positive(mean, "delay.mean")?;
             Arc::new(Weibull::from_mean(shape, mean).expect("validated"))
         }
+        DelaySpec::Axis { .. } => unreachable!("axis-driven delay lowered by compile"),
     })
 }
 
@@ -575,6 +718,15 @@ impl CompiledScenario {
         self.scenario.n.unwrap_or_else(|| cell.u32("n"))
     }
 
+    /// This cell's delay model (the fixed model, or its `delay` axis
+    /// family).
+    fn cell_delay(&self, cell: &Cell) -> SharedDelay {
+        match &self.delay {
+            DelayLowered::Fixed(d) => Arc::clone(d),
+            DelayLowered::PerFamily(models) => Arc::clone(&models[cell.idx("delay")]),
+        }
+    }
+
     /// This cell's ring kind.
     fn cell_kind(&self, cell: &Cell) -> RingKind {
         if self.scenario.topology == TopologySpec::Axis {
@@ -605,7 +757,7 @@ impl CompiledScenario {
     fn cell_config(&self, cell: &Cell) -> RingConfig {
         let n = self.cell_n(cell);
         let mut cfg = RingConfig::new(n)
-            .delay(Arc::clone(&self.delay))
+            .delay(self.cell_delay(cell))
             .seed(cell.seed())
             .kind(self.cell_kind(cell))
             .max_events(self.scenario.max_events)
@@ -638,6 +790,9 @@ impl CompiledScenario {
             ProtocolSpec::Peterson => run_peterson(cfg),
             ProtocolSpec::Benor | ProtocolSpec::Brb => {
                 unreachable!("consensus protocols take the consensus record path")
+            }
+            ProtocolSpec::Antientropy { .. } => {
+                unreachable!("anti-entropy takes the sync record path")
             }
         }
     }
@@ -676,7 +831,7 @@ impl CompiledScenario {
         let n = self.cell_n(cell);
         let f = self.scenario.faulty.unwrap_or_else(|| default_faulty(n));
         let mut cfg = ConsensusConfig::new(n, f)
-            .delay(Arc::clone(&self.delay))
+            .delay(self.cell_delay(cell))
             .seed(cell.seed())
             .max_events(self.scenario.max_events)
             .shards(self.shards);
@@ -726,10 +881,73 @@ impl CompiledScenario {
         metrics
     }
 
+    /// Builds the cell's anti-entropy configuration, exactly as the
+    /// hand-written e21/e22 experiments do: divergence from the
+    /// directive or its axis, the cell's delay family, the e14 churn
+    /// idiom for the fault plan, and an adversary plan only when a
+    /// stanza resolves to a strategy.
+    fn cell_sync_config(&self, cell: &Cell) -> SyncConfig {
+        let ProtocolSpec::Antientropy { key_space } = self.scenario.protocol else {
+            unreachable!("record sync requires `protocol antientropy`")
+        };
+        let n = self.cell_n(cell);
+        let divergence = match self.scenario.divergence {
+            Some(Bind::Fixed(d)) => d,
+            Some(Bind::Axis) => cell.f64("divergence"),
+            None => unreachable!("divergence required by compile"),
+        };
+        let mut cfg = SyncConfig::new(n, key_space)
+            .divergence(divergence)
+            .delay(self.cell_delay(cell))
+            .seed(cell.seed())
+            .max_events(self.scenario.max_events)
+            .shards(self.shards);
+        if let Some(fault) = &self.scenario.fault {
+            let events = match fault.events {
+                Bind::Fixed(v) => v,
+                Bind::Axis => cell.u32("churn"),
+            };
+            cfg = cfg.fault(FaultPlan::churn(
+                n,
+                events,
+                fault.horizon,
+                fault.downtime,
+                SeedStream::new(cell.seed()).child_seed("churn-plan", 0),
+            ));
+        }
+        if let Some(plan) = self.cell_adversary(cell) {
+            cfg = cfg.adversary(plan);
+        }
+        cfg
+    }
+
+    /// Runs one anti-entropy cell: the e21/e22 metric set — convergence
+    /// indicators, rounds, wire bytes, transfer counters, and the
+    /// `invented` no-invention count — with fault telemetry iff the
+    /// scenario injects faults and adversary telemetry iff the cell's
+    /// resolved strategy tampers.
+    fn sync_metrics(&self, cell: &Cell) -> CellMetrics {
+        let cfg = self.cell_sync_config(cell);
+        let o = run_antientropy(&cfg);
+        let mut metrics = CellMetrics::new()
+            .with_sync(&o)
+            .metric("invented", o.invented().len() as f64);
+        if self.scenario.fault.is_some() {
+            metrics = metrics.with_faults(&o.report);
+        }
+        if self.scenario.adversary.is_some() && self.cell_strategy(cell) != Some("none") {
+            metrics = metrics.with_adversary(&o.report);
+        }
+        metrics
+    }
+
     /// Runs one cell and records the scenario's metric set.
     pub fn run_cell(&self, cell: &Cell) -> CellMetrics {
         if self.scenario.record == RecordMode::Consensus {
             return self.consensus_metrics(cell);
+        }
+        if self.scenario.record == RecordMode::Sync {
+            return self.sync_metrics(cell);
         }
         let cfg = self.cell_config(cell);
         let o = self.run_protocol(&cfg);
@@ -770,7 +988,9 @@ impl CompiledScenario {
                     metrics
                 }
             }
-            RecordMode::Consensus => unreachable!("handled by the early return above"),
+            RecordMode::Consensus | RecordMode::Sync => {
+                unreachable!("handled by the early returns above")
+            }
         }
     }
 }
@@ -946,6 +1166,104 @@ mod tests {
         // n = 7 > 3f for f = 2 compiles.
         let s = parse(&benor_text().replace("n 4\n", "n 7\nfaulty 2\n")).unwrap();
         assert!(compile(&s).is_ok());
+    }
+
+    fn sync_text() -> String {
+        "scenario s\nprotocol antientropy key-space=64\ndelay exp mean=1\ntopology complete\n\
+         n 4\ndivergence 0.25\nseeds 2\nrecord sync\nexpect decided\n"
+            .to_string()
+    }
+
+    #[test]
+    fn minimal_sync_scenario_compiles_and_converges() {
+        let s = parse(&sync_text()).unwrap();
+        let outcome = compile(&s).unwrap().run(1).unwrap();
+        assert_eq!(outcome.cells.len(), 2);
+        for cell in &outcome.cells {
+            assert_eq!(cell.metrics.get("converged"), Some(1.0));
+            assert_eq!(cell.metrics.get("residual_divergence"), Some(0.0));
+            assert_eq!(cell.metrics.get("invented"), Some(0.0));
+            assert!(cell.metrics.get("wire_bytes").unwrap() > 0.0);
+            assert!(cell.metrics.get_counter("sync_entries_sent").unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn sync_family_is_all_or_nothing() {
+        // Anti-entropy off the complete graph.
+        let s = parse(&sync_text().replace("topology complete", "topology uni-ring")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("topology"));
+        // Anti-entropy without the sync record mode.
+        let s = parse(&sync_text().replace("record sync", "record election")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("record"));
+        // Sync record mode under an election protocol.
+        let s = parse(&base_text().replace("record election", "record sync")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("record"));
+        // Divergence is required with antientropy...
+        let s = parse(&sync_text().replace("divergence 0.25\n", "")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("divergence"));
+        // ...and exclusive to it.
+        let s = parse(&base_text().replace("n 4\n", "n 4\ndivergence 0.25\n")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("divergence"));
+        // An empty key universe is rejected.
+        let s = parse(&sync_text().replace("key-space=64", "key-space=0")).unwrap();
+        assert_eq!(
+            compile(&s).unwrap_err().field_name(),
+            Some("protocol.key-space")
+        );
+    }
+
+    #[test]
+    fn divergence_fraction_is_range_checked() {
+        let s = parse(&sync_text().replace("divergence 0.25", "divergence 1.5")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("divergence"));
+        let s = parse(&sync_text().replace("divergence 0.25", "divergence 0")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("divergence"));
+        // Axis values are checked too, and the axis needs its consumer.
+        let s = parse(&sync_text().replace(
+            "divergence 0.25\n",
+            "divergence @divergence\naxis divergence 0.1 2\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            compile(&s).unwrap_err().field_name(),
+            Some("axis.divergence")
+        );
+        let s = parse(&sync_text().replace("n 4\n", "n 4\naxis divergence 0.1 0.4\n")).unwrap();
+        assert_eq!(
+            compile(&s).unwrap_err().field_name(),
+            Some("axis.divergence")
+        );
+    }
+
+    #[test]
+    fn delay_axis_pairs_with_the_axis_delay_directive() {
+        // `delay @delay` without the axis.
+        let s = parse(&sync_text().replace("delay exp mean=1", "delay @delay mean=1")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("axis.delay"));
+        // A delay axis alongside a fixed delay.
+        let s = parse(&sync_text().replace("n 4\n", "n 4\naxis delay exp det\n")).unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("axis.delay"));
+        // An unknown family on the axis.
+        let s = parse(
+            &sync_text()
+                .replace("delay exp mean=1", "delay @delay mean=1")
+                .replace("n 4\n", "n 4\naxis delay exp cauchy\n"),
+        )
+        .unwrap();
+        assert_eq!(compile(&s).unwrap_err().field_name(), Some("axis.delay"));
+        // The full e21 idiom compiles and runs one cell per family.
+        let s = parse(
+            &sync_text()
+                .replace("delay exp mean=1", "delay @delay mean=1")
+                .replace("n 4\n", "n 4\naxis delay exp uniform det\n"),
+        )
+        .unwrap();
+        let outcome = compile(&s).unwrap().run(2).unwrap();
+        assert_eq!(outcome.cells.len(), 6);
+        for cell in &outcome.cells {
+            assert_eq!(cell.metrics.get("converged"), Some(1.0));
+        }
     }
 
     #[test]

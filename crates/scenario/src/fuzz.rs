@@ -15,7 +15,10 @@
 //!   graph) must never violate agreement or validity; fault-free
 //!   broadcast additionally expects `decided`, while Ben-Or — whose
 //!   termination is probabilistic under a finite event budget — is
-//!   checked as `mixed` (decide or stall, never disagree).
+//!   checked as `mixed` (decide or stall, never disagree);
+//! * anti-entropy sync scenarios (fault-free, on the complete graph)
+//!   must converge to zero residual divergence (`decided` — the
+//!   convergence-oracle suite proves exactly this invariant).
 //!
 //! Generation is pure seed-derivation ([`abe_sim::SeedStream`]):
 //! the same seed always yields the same scenario, so a failing fuzz
@@ -80,7 +83,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
         )
     };
 
-    match p.pick("family", 4) {
+    match p.pick("family", 5) {
         // Plain election: any protocol; baselines stay on uni-rings.
         0 => {
             let protocol = random_protocol(&p, true);
@@ -101,6 +104,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
                 max_events: DEFAULT_MAX_EVENTS,
                 fault: None,
                 faulty: None,
+                divergence: None,
                 adversary: None,
                 filter: None,
                 record: RecordMode::Election,
@@ -135,6 +139,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
                     downtime: *p.choose("downtime", &[1.0, 2.0, 4.0]),
                 }),
                 faulty: None,
+                divergence: None,
                 adversary: None,
                 filter: None,
                 record: RecordMode::Classified,
@@ -187,6 +192,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
                 max_events: DEFAULT_MAX_EVENTS,
                 fault: None,
                 faulty: None,
+                divergence: None,
                 adversary: Some(AdversarySpec {
                     strategy,
                     budget,
@@ -196,6 +202,57 @@ pub fn random_scenario(seed: u64) -> Scenario {
                 filter: None,
                 record: RecordMode::Adversary,
                 expect: Expectation::Class(OutcomeClass::Completed),
+            }
+        }
+        // Anti-entropy sync: replicas on the complete graph reconcile a
+        // seeded fresh-write divergence. Fault-free anti-entropy always
+        // converges to zero residual divergence — the invariant the
+        // convergence-oracle suite proves — so the oracle is `decided`.
+        3 => {
+            let key_space = *p.choose("key-space", &[64u32, 128, 256]);
+            let divergence = if p.pick("divergence-axis", 2) == 0 {
+                axes.push(AxisSpec {
+                    name: "divergence".to_string(),
+                    values: AxisValues::F64(vec![0.1, 0.4]),
+                });
+                Bind::Axis
+            } else {
+                Bind::Fixed(*p.choose("divergence", &[0.1, 0.25, 0.5]))
+            };
+            // Half the sync scenarios sweep the calibrated delay-family
+            // axis (the e21 idiom); the rest keep the fixed model drawn
+            // above.
+            let delay = if p.pick("delay-axis", 2) == 0 {
+                axes.push(AxisSpec {
+                    name: "delay".to_string(),
+                    values: AxisValues::Str(
+                        ["exp", "uniform", "det"]
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
+                    ),
+                });
+                DelaySpec::Axis { mean: 1.0 }
+            } else {
+                delay
+            };
+            Scenario {
+                name,
+                protocol: ProtocolSpec::Antientropy { key_space },
+                delay,
+                topology: TopologySpec::Complete,
+                n,
+                axes,
+                seeds,
+                base_seed,
+                max_events: DEFAULT_MAX_EVENTS,
+                fault: None,
+                faulty: None,
+                divergence: Some(divergence),
+                adversary: None,
+                filter: None,
+                record: RecordMode::Sync,
+                expect: Expectation::Class(OutcomeClass::Decided),
             }
         }
         // Consensus: Ben-Or or reliable broadcast on the complete
@@ -245,6 +302,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
                 } else {
                     Some(1)
                 },
+                divergence: None,
                 adversary,
                 filter: None,
                 record: RecordMode::Consensus,
@@ -348,16 +406,24 @@ mod tests {
     }
 
     #[test]
-    fn generator_covers_all_four_families() {
-        let scenarios = corpus(32, 1);
+    fn generator_covers_all_five_families() {
+        let scenarios = corpus(48, 1);
         assert!(scenarios.iter().any(|s| s.fault.is_some()));
         assert!(scenarios
             .iter()
             .any(|s| s.adversary.is_some() && !s.protocol.is_consensus()));
-        assert!(scenarios
-            .iter()
-            .any(|s| s.fault.is_none() && s.adversary.is_none() && !s.protocol.is_consensus()));
+        assert!(scenarios.iter().any(|s| s.fault.is_none()
+            && s.adversary.is_none()
+            && !s.protocol.is_consensus()
+            && !s.protocol.is_sync()));
         assert!(scenarios.iter().any(|s| s.protocol == ProtocolSpec::Benor));
         assert!(scenarios.iter().any(|s| s.protocol == ProtocolSpec::Brb));
+        // The sync family appears, in both its divergence binds.
+        assert!(scenarios
+            .iter()
+            .any(|s| s.protocol.is_sync() && s.divergence == Some(Bind::Axis)));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.protocol.is_sync() && matches!(s.divergence, Some(Bind::Fixed(_)))));
     }
 }

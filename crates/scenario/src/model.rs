@@ -11,13 +11,15 @@
 //! Axis names form a **closed vocabulary** — each name fixes both the
 //! value type and the configuration knob it drives:
 //!
-//! | axis       | type | drives                                   |
-//! |------------|------|------------------------------------------|
-//! | `n`        | u32  | ring size                                |
-//! | `topo`     | str  | ring kind (`uni-ring` / `bidi-ring`)     |
-//! | `churn`    | u32  | churn events in the fault plan           |
-//! | `budget`   | f64  | adversary tampering budget               |
-//! | `strategy` | str  | adversary strategy                       |
+//! | axis         | type | drives                                       |
+//! |--------------|------|----------------------------------------------|
+//! | `n`          | u32  | ring size                                    |
+//! | `topo`       | str  | ring kind (`uni-ring` / `bidi-ring`)         |
+//! | `churn`      | u32  | churn events in the fault plan               |
+//! | `budget`     | f64  | adversary tampering budget                   |
+//! | `strategy`   | str  | adversary strategy                           |
+//! | `divergence` | f64  | anti-entropy fresh-write fraction            |
+//! | `delay`      | str  | delay family (`exp` / `uniform` / `det`), all calibrated to the `delay @delay mean=M` mean |
 
 use std::error::Error;
 use std::fmt;
@@ -63,12 +65,25 @@ pub enum ProtocolSpec {
     /// Bracha reliable broadcast, node 0 broadcasting (complete graph
     /// only, recorded with `record consensus`).
     Brb,
+    /// Anti-entropy state sync: replicas reconcile keyed versioned
+    /// state via Merkle-style digest exchange (complete graph only,
+    /// recorded with `record sync`, paired with a `divergence`
+    /// directive).
+    Antientropy {
+        /// Key universe size each replica's store draws from.
+        key_space: u32,
+    },
 }
 
 impl ProtocolSpec {
     /// Whether this is a consensus protocol (complete-graph family).
     pub fn is_consensus(&self) -> bool {
         matches!(self, ProtocolSpec::Benor | ProtocolSpec::Brb)
+    }
+
+    /// Whether this is the anti-entropy state-sync workload.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, ProtocolSpec::Antientropy { .. })
     }
 }
 
@@ -120,6 +135,13 @@ pub enum DelaySpec {
         /// Shape parameter.
         shape: f64,
         /// Mean delay.
+        mean: f64,
+    },
+    /// Taken from the `delay` axis (written `delay @delay mean=M`):
+    /// each axis value names a family (`exp` / `uniform` / `det`),
+    /// every family calibrated to the given mean.
+    Axis {
+        /// Expected delay every family is calibrated to.
         mean: f64,
     },
 }
@@ -194,6 +216,12 @@ pub enum RecordMode {
     /// `validity_violation`) plus progress and complexity metrics, with
     /// fault and adversary telemetry where the stanzas apply.
     Consensus,
+    /// e21/e22-style anti-entropy metrics: `converged` /
+    /// `residual_divergence` indicators, rounds, wire bytes, the
+    /// digest/leaf/entry counters, and the `invented` no-invention
+    /// metric, with fault and adversary telemetry where the stanzas
+    /// apply.
+    Sync,
 }
 
 impl RecordMode {
@@ -204,6 +232,7 @@ impl RecordMode {
             RecordMode::Classified => "classified",
             RecordMode::Adversary => "adversary",
             RecordMode::Consensus => "consensus",
+            RecordMode::Sync => "sync",
         }
     }
 }
@@ -244,7 +273,8 @@ impl Expectation {
 /// One grid axis: a name from the closed vocabulary and its values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AxisSpec {
-    /// Axis name (`n`, `topo`, `churn`, `budget`, `strategy`).
+    /// Axis name (`n`, `topo`, `churn`, `budget`, `strategy`,
+    /// `divergence`, `delay`).
     pub name: String,
     /// The axis values, typed by the axis name.
     pub values: AxisValues,
@@ -255,9 +285,9 @@ pub struct AxisSpec {
 pub enum AxisValues {
     /// Integer axis (`n`, `churn`).
     U32(Vec<u32>),
-    /// Float axis (`budget`).
+    /// Float axis (`budget`, `divergence`).
     F64(Vec<f64>),
-    /// String axis (`topo`, `strategy`).
+    /// String axis (`topo`, `strategy`, `delay`).
     Str(Vec<String>),
 }
 
@@ -303,6 +333,10 @@ pub struct Scenario {
     /// legal budget `(n - 1) / 3` per cell. Only valid with consensus
     /// protocols.
     pub faulty: Option<u32>,
+    /// Anti-entropy fresh-write fraction, fixed or from the
+    /// `divergence` axis. Required with (and only valid with)
+    /// `protocol antientropy`.
+    pub divergence: Option<Bind<f64>>,
     /// Grid axes, in declaration order.
     pub axes: Vec<AxisSpec>,
     /// Seed repetitions per grid point.

@@ -12,13 +12,16 @@
 //! ```text
 //! scenario NAME
 //! protocol abe-calibrated a=F | abe a0=F | itai-rodeh | chang-roberts | peterson
-//!          | benor | brb
+//!          | benor | brb | antientropy key-space=U32
 //! delay exp mean=F | det value=F | uniform lo=F hi=F
 //!       | pareto shape=F mean=F | weibull shape=F mean=F
+//!       | @delay mean=F         # family from the `delay` axis, at this mean
 //! topology uni-ring | bidi-ring | complete | @topo
 //! n U32                       # fixed network size (or use an `n` axis)
 //! faulty U32                  # consensus fault budget f (default (n-1)/3)
-//! axis NAME V...              # NAME in {n, topo, churn, budget, strategy}
+//! divergence F | @divergence  # anti-entropy fresh-write fraction
+//! axis NAME V...              # NAME in {n, topo, churn, budget, strategy,
+//!                             #          divergence, delay}
 //! seeds U64
 //! base-seed U64               # default 0
 //! max-events U64              # default 5000000
@@ -26,7 +29,7 @@
 //! adversary strategy=(NAME|@strategy) budget=(F|@budget)
 //!           burst-p=F pareto-shape=F
 //! filter AXIS=V only-at AXIS=V
-//! record election | classified | adversary | consensus
+//! record election | classified | adversary | consensus | sync
 //! expect completed | stalled | wrong-leader | decided
 //!        | agreement-violation | validity-violation | mixed
 //! ```
@@ -139,6 +142,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut topology: Option<TopologySpec> = None;
     let mut n: Option<u32> = None;
     let mut faulty: Option<u32> = None;
+    let mut divergence: Option<Bind<f64>> = None;
     let mut axes: Vec<AxisSpec> = Vec::new();
     let mut seeds: Option<u64> = None;
     let mut base_seed: Option<u64> = None;
@@ -191,6 +195,12 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     "peterson" => ProtocolSpec::Peterson,
                     "benor" => ProtocolSpec::Benor,
                     "brb" => ProtocolSpec::Brb,
+                    "antientropy" => ProtocolSpec::Antientropy {
+                        key_space: parse_u32(
+                            require(&mut kv, "key-space", "protocol.key-space")?,
+                            "protocol.key-space",
+                        )?,
+                    },
                     other => {
                         return Err(syntax(lineno, format!("unknown protocol `{other}`")));
                     }
@@ -220,6 +230,9 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     },
                     "weibull" => DelaySpec::Weibull {
                         shape: parse_f64(require(&mut kv, "shape", "delay.shape")?, "delay.shape")?,
+                        mean: parse_f64(require(&mut kv, "mean", "delay.mean")?, "delay.mean")?,
+                    },
+                    "@delay" => DelaySpec::Axis {
                         mean: parse_f64(require(&mut kv, "mean", "delay.mean")?, "delay.mean")?,
                     },
                     other => {
@@ -259,6 +272,13 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                 };
                 set_once(&mut faulty, parse_u32(tok, "faulty")?, lineno, dir)?;
             }
+            "divergence" => {
+                let [tok] = rest else {
+                    return Err(syntax(lineno, "expected `divergence FRACTION|@divergence`"));
+                };
+                let b = bind(tok, "divergence", "divergence", parse_f64)?;
+                set_once(&mut divergence, b, lineno, dir)?;
+            }
             "axis" => {
                 let Some((&axis_name, vals)) = rest.split_first() else {
                     return Err(syntax(lineno, "expected `axis NAME VALUES...`"));
@@ -273,19 +293,20 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                             .map(|v| parse_u32(v, &field))
                             .collect::<Result<_, _>>()?,
                     ),
-                    "budget" => AxisValues::F64(
+                    "budget" | "divergence" => AxisValues::F64(
                         vals.iter()
                             .map(|v| parse_f64(v, &field))
                             .collect::<Result<_, _>>()?,
                     ),
-                    "topo" | "strategy" => {
+                    "topo" | "strategy" | "delay" => {
                         AxisValues::Str(vals.iter().map(|s| s.to_string()).collect())
                     }
                     other => {
                         return Err(syntax(
                             lineno,
                             format!(
-                                "unknown axis `{other}` (known: n, topo, churn, budget, strategy)"
+                                "unknown axis `{other}` (known: n, topo, churn, budget, \
+                                 strategy, divergence, delay)"
                             ),
                         ));
                     }
@@ -402,6 +423,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     "classified" => RecordMode::Classified,
                     "adversary" => RecordMode::Adversary,
                     "consensus" => RecordMode::Consensus,
+                    "sync" => RecordMode::Sync,
                     other => {
                         return Err(syntax(lineno, format!("unknown record mode `{other}`")));
                     }
@@ -432,6 +454,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         topology: topology.ok_or_else(|| missing("topology"))?,
         n,
         faulty,
+        divergence,
         axes,
         seeds: seeds.ok_or_else(|| missing("seeds"))?,
         base_seed: base_seed.unwrap_or(0),
@@ -469,6 +492,9 @@ impl Scenario {
             ProtocolSpec::Peterson => writeln!(out, "protocol peterson"),
             ProtocolSpec::Benor => writeln!(out, "protocol benor"),
             ProtocolSpec::Brb => writeln!(out, "protocol brb"),
+            ProtocolSpec::Antientropy { key_space } => {
+                writeln!(out, "protocol antientropy key-space={key_space}")
+            }
         };
         let _ = match &self.delay {
             DelaySpec::Exponential { mean } => writeln!(out, "delay exp mean={mean}"),
@@ -480,6 +506,7 @@ impl Scenario {
             DelaySpec::Weibull { shape, mean } => {
                 writeln!(out, "delay weibull shape={shape} mean={mean}")
             }
+            DelaySpec::Axis { mean } => writeln!(out, "delay @delay mean={mean}"),
         };
         let _ = writeln!(
             out,
@@ -496,6 +523,9 @@ impl Scenario {
         }
         if let Some(f) = self.faulty {
             let _ = writeln!(out, "faulty {f}");
+        }
+        if let Some(d) = &self.divergence {
+            let _ = writeln!(out, "divergence {}", bind_str(d, "divergence"));
         }
         for axis in &self.axes {
             let rendered: Vec<String> = match &axis.values {
@@ -598,6 +628,20 @@ record consensus
 expect decided
 ";
 
+    const E21_STYLE: &str = "\
+scenario e21_antientropy
+protocol antientropy key-space=256
+delay @delay mean=1
+topology complete
+divergence @divergence
+axis n 4 8
+axis divergence 0.1 0.4
+axis delay exp uniform det
+seeds 2
+record sync
+expect decided
+";
+
     const BRB_STYLE: &str = "\
 scenario brb_churn
 protocol brb
@@ -615,11 +659,31 @@ expect mixed
 
     #[test]
     fn canonical_texts_round_trip() {
-        for text in [E17_STYLE, E14_STYLE, E19_STYLE, BRB_STYLE] {
+        for text in [E17_STYLE, E14_STYLE, E19_STYLE, E21_STYLE, BRB_STYLE] {
             let s = parse(text).unwrap();
             assert_eq!(s.print(), text);
             assert_eq!(parse(&s.print()).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn parses_sync_structure() {
+        let s = parse(E21_STYLE).unwrap();
+        assert_eq!(s.protocol, ProtocolSpec::Antientropy { key_space: 256 });
+        assert!(s.protocol.is_sync());
+        assert_eq!(s.delay, DelaySpec::Axis { mean: 1.0 });
+        assert_eq!(s.topology, TopologySpec::Complete);
+        assert_eq!(s.divergence, Some(Bind::Axis));
+        assert_eq!(s.record, RecordMode::Sync);
+        assert_eq!(s.expect, Expectation::Class(OutcomeClass::Decided));
+        // A fixed divergence parses to a fixed bind.
+        let fixed =
+            parse(&E21_STYLE.replace("divergence @divergence\n", "divergence 0.25\n")).unwrap();
+        assert_eq!(fixed.divergence, Some(Bind::Fixed(0.25)));
+        // Binding any other axis in the divergence slot is rejected.
+        let err = parse(&E21_STYLE.replace("divergence @divergence\n", "divergence @budget\n"))
+            .unwrap_err();
+        assert_eq!(err.field_name(), Some("divergence"));
     }
 
     #[test]

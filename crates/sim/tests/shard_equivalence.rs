@@ -18,12 +18,15 @@
 //!   → per-entity seed streams keep both paths on the same randomness.
 //!
 //! The crate under test is `abe-sim` (the kernel the shards are built
-//! from); `abe-core`/`abe-election`/`abe-consensus` are dev-dependencies
-//! — a deliberate dev-only cycle so the differential suite can sit beside
-//! the kernel's other equivalence tests. The consensus cases matter
-//! because Ben-Or flips *private coins* (per-node `SeedStream` children):
-//! the equivalence proves the coins are keyed by identity, not by
-//! execution order.
+//! from); `abe-core`/`abe-election`/`abe-consensus`/`abe-statesync` are
+//! dev-dependencies — a deliberate dev-only cycle so the differential
+//! suite can sit beside the kernel's other equivalence tests. The
+//! consensus cases matter because Ben-Or flips *private coins* (per-node
+//! `SeedStream` children): the equivalence proves the coins are keyed by
+//! identity, not by execution order. The state-sync cases matter because
+//! anti-entropy is the first workload whose sends carry *payload sizes*
+//! (`Ctx::send_sized`): the equivalence proves byte accounting survives
+//! the per-shard split and merge exactly.
 
 use std::sync::Arc;
 
@@ -287,6 +290,97 @@ fn reliable_broadcast_matches_sequential_for_every_shard_count() {
     }
 }
 
+/// Asserts two state-sync outcomes agree on everything observable: the
+/// report (payload-byte accounting included), every per-replica state
+/// map, and the gossip round vectors.
+fn assert_sync_equal(
+    seq: &abe_statesync::SyncOutcome,
+    par: &abe_statesync::SyncOutcome,
+    what: &str,
+) {
+    assert_eq!(seq.report, par.report, "{what}: reports diverge");
+    assert_eq!(
+        seq.report.payload_bytes, par.report.payload_bytes,
+        "{what}: payload bytes diverge"
+    );
+    assert_eq!(seq.states, par.states, "{what}: state maps diverge");
+    assert_eq!(seq.rounds, par.rounds, "{what}: rounds diverge");
+    assert_eq!(seq.alive, par.alive, "{what}: liveness diverges");
+    assert_eq!(
+        seq.sync_report(),
+        par.sync_report(),
+        "{what}: sync telemetry diverges"
+    );
+}
+
+#[test]
+fn antientropy_sync_matches_sequential_for_every_shard_count() {
+    // The data-plane workload: anti-entropy gossip on the complete graph
+    // with every send accounted through `send_sized`, so this is the
+    // differential that pins payload-byte accounting across the shard
+    // split — bytes are summed per shard and merged, and must land on
+    // the sequential total exactly.
+    for shards in [2, 4, 8] {
+        let cfg = abe_statesync::SyncConfig::new(6, 64)
+            .divergence(0.25)
+            .seed(23);
+        let seq = abe_statesync::run_antientropy(&cfg);
+        let par = abe_statesync::run_antientropy(&cfg.clone().shards(shards));
+        assert_sync_equal(&seq, &par, &format!("antientropy, shards={shards}"));
+        assert!(
+            seq.report.payload_bytes > 0,
+            "shards={shards}: no bytes accounted"
+        );
+        assert!(seq.converged(), "shards={shards}");
+    }
+}
+
+#[test]
+fn antientropy_under_churn_and_partition_matches_sequential() {
+    // Faulted sync runs: crash churn plus a partition window on top of
+    // the digest traffic. Fault statistics, dropped-message accounting,
+    // and the (possibly unconverged) residual all have to merge
+    // identically.
+    for (shards, seed) in [(2, 1u64), (4, 2), (8, 3)] {
+        let plan = FaultPlan::churn(8, 2, 12.0, 4.0, seed).partition(vec![0], 0.0, 5.0);
+        let cfg = abe_statesync::SyncConfig::new(8, 64)
+            .divergence(0.25)
+            .seed(seed)
+            .fault(plan);
+        let seq = abe_statesync::run_antientropy(&cfg);
+        let par = abe_statesync::run_antientropy(&cfg.clone().shards(shards));
+        assert_sync_equal(&seq, &par, &format!("sync churn, shards={shards}"));
+        assert_eq!(
+            seq.report.faults, par.report.faults,
+            "sync churn, shards={shards}: fault stats diverge"
+        );
+        assert_eq!(
+            seq.residual_divergence(),
+            par.residual_divergence(),
+            "sync churn, shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn full_exchange_reference_matches_sequential_for_every_shard_count() {
+    // The reference reconciler ships much bigger payloads (whole stores):
+    // a second, heavier-tailed byte distribution through the same
+    // accounting path.
+    for shards in [2, 4, 8] {
+        let cfg = abe_statesync::SyncConfig::new(5, 64)
+            .divergence(0.25)
+            .seed(29);
+        let seq = abe_statesync::run_reference(&cfg);
+        let par = abe_statesync::run_reference(&cfg.clone().shards(shards));
+        assert_sync_equal(&seq, &par, &format!("full-exchange, shards={shards}"));
+        assert!(
+            seq.report.payload_bytes > 0,
+            "shards={shards}: no bytes accounted"
+        );
+    }
+}
+
 /// The delay regimes the property sweep draws from: zero lookahead
 /// (exponential), positive lookahead (uniform), and tie-heavy positive
 /// lookahead (deterministic).
@@ -379,5 +473,42 @@ proptest! {
         prop_assert_eq!(&seq.report, &par.report);
         prop_assert_eq!(&seq.decisions, &par.decisions);
         prop_assert_eq!(&seq.rounds, &par.rounds);
+    }
+
+    /// Same property for the anti-entropy data plane: random size, key
+    /// space, divergence, shard count, delay regime and churn level never
+    /// make the sharded state maps or the payload-byte totals diverge
+    /// from the sequential run.
+    #[test]
+    fn sharded_sync_outcomes_are_identical(
+        n in 3u32..9,
+        key_space in 8u32..96,
+        divergence in 0.05f64..0.6,
+        seed in 0u64..1_000,
+        shards in 2u32..9,
+        delay in delay_strategy(),
+        churn_events in 0u32..3,
+    ) {
+        let mut cfg = abe_statesync::SyncConfig::new(n, key_space)
+            .divergence(divergence)
+            .seed(seed)
+            .delay(delay)
+            .max_events(2_000_000);
+        if churn_events > 0 {
+            cfg = cfg.fault(FaultPlan::churn(n, churn_events, 12.0, 4.0, seed));
+        }
+        let seq = abe_statesync::run_antientropy(&cfg);
+        let par = abe_statesync::run_antientropy(&cfg.clone().shards(shards));
+        prop_assert_eq!(&seq.report, &par.report);
+        prop_assert_eq!(
+            seq.report.payload_bytes,
+            par.report.payload_bytes
+        );
+        prop_assert_eq!(&seq.states, &par.states);
+        prop_assert_eq!(&seq.rounds, &par.rounds);
+        prop_assert_eq!(
+            seq.residual_divergence(),
+            par.residual_divergence()
+        );
     }
 }

@@ -1,0 +1,200 @@
+//! Fixed-fanout Merkle-style digest tree over the key universe.
+//!
+//! The tree is *implicit*: a node is a half-open key range `[lo, hi)`, the
+//! root covers `[0, key_space)`, and an internal node splits into at most
+//! [`Digests::fanout`] equal-width children until ranges shrink to the
+//! leaf width. Hashes are computed on demand from the store by folding a
+//! 64-bit FNV-1a over the `(key, version, payload)` entries of the range
+//! in ascending key order — so two replicas' range hashes are equal iff
+//! their stores agree on that range (modulo 64-bit collisions), absent
+//! keys contribute nothing, and no incremental tree state has to be kept
+//! consistent with the store.
+//!
+//! Determinism rule: the hash depends only on store *content*, never on
+//! insertion order, wall clock, or memory layout — a requirement for the
+//! sharded runtime, where the same replica state must produce the same
+//! digests on any shard.
+
+use crate::store::StateStore;
+
+/// Default branching factor of the implicit tree.
+pub const DEFAULT_FANOUT: u32 = 4;
+/// Default widest key range answered with a leaf transfer instead of
+/// child digests.
+pub const DEFAULT_LEAF_WIDTH: u32 = 8;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[inline]
+fn fnv_u64(mut h: u64, word: u64) -> u64 {
+    for shift in (0..64).step_by(8) {
+        h ^= (word >> shift) & 0xFF;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Shape of the digest tree: key space, fanout, and leaf width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digests {
+    key_space: u32,
+    fanout: u32,
+    leaf_width: u32,
+}
+
+impl Digests {
+    /// A tree over `0..key_space` with the default fanout and leaf width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_space == 0`.
+    pub fn new(key_space: u32) -> Self {
+        Self::with_shape(key_space, DEFAULT_FANOUT, DEFAULT_LEAF_WIDTH)
+    }
+
+    /// A tree with an explicit shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `key_space >= 1`, `fanout >= 2`, and
+    /// `leaf_width >= 1`.
+    pub fn with_shape(key_space: u32, fanout: u32, leaf_width: u32) -> Self {
+        assert!(key_space >= 1, "key space must be non-empty");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(leaf_width >= 1, "leaf width must be at least 1");
+        Self {
+            key_space,
+            fanout,
+            leaf_width,
+        }
+    }
+
+    /// The key universe size `K` (the root covers `[0, K)`).
+    pub fn key_space(&self) -> u32 {
+        self.key_space
+    }
+
+    /// The branching factor.
+    pub fn fanout(&self) -> u32 {
+        self.fanout
+    }
+
+    /// The widest range treated as a leaf.
+    pub fn leaf_width(&self) -> u32 {
+        self.leaf_width
+    }
+
+    /// Hash of the store restricted to `[lo, hi)`. Equal iff the two
+    /// stores agree entry-for-entry on the range (64-bit collisions
+    /// aside); an empty range hashes to a fixed basis.
+    pub fn range_hash(&self, store: &StateStore, lo: u32, hi: u32) -> u64 {
+        let mut h = FNV_OFFSET;
+        for (k, v, p) in store.entries_in(lo, hi) {
+            h = fnv_u64(h, u64::from(k));
+            h = fnv_u64(h, v);
+            h = fnv_u64(h, p);
+        }
+        h
+    }
+
+    /// The root hash: the whole-store digest gossiped between replicas.
+    pub fn root(&self, store: &StateStore) -> u64 {
+        self.range_hash(store, 0, self.key_space)
+    }
+
+    /// Whether `[lo, hi)` is answered with a leaf transfer (at most
+    /// `leaf_width` keys wide) rather than child digests.
+    pub fn is_leaf(&self, lo: u32, hi: u32) -> bool {
+        hi - lo <= self.leaf_width
+    }
+
+    /// The child ranges of internal node `[lo, hi)`: up to `fanout`
+    /// contiguous equal-width slices (the last possibly narrower), in
+    /// ascending order. Empty for leaves.
+    pub fn children(&self, lo: u32, hi: u32) -> Vec<(u32, u32)> {
+        if self.is_leaf(lo, hi) {
+            return Vec::new();
+        }
+        let width = hi - lo;
+        let step = width.div_ceil(self.fanout);
+        let mut out = Vec::new();
+        let mut cur = lo;
+        while cur < hi {
+            let end = hi.min(cur + step);
+            out.push((cur, end));
+            cur = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(entries: &[(u32, u64, u64)]) -> StateStore {
+        let mut s = StateStore::new();
+        for &(k, v, p) in entries {
+            s.write(k, v, p);
+        }
+        s
+    }
+
+    #[test]
+    fn equal_stores_hash_equal_and_one_key_differs() {
+        let d = Digests::new(64);
+        let a = store(&[(0, 1, 1), (17, 2, 5), (63, 1, 0)]);
+        let b = a.clone();
+        assert_eq!(d.root(&a), d.root(&b));
+        let mut c = b.clone();
+        c.write(17, 3, 5);
+        assert_ne!(d.root(&a), d.root(&c));
+        // The diff localises: ranges not containing key 17 still agree.
+        assert_eq!(d.range_hash(&a, 32, 64), d.range_hash(&c, 32, 64));
+        assert_ne!(d.range_hash(&a, 16, 32), d.range_hash(&c, 16, 32));
+    }
+
+    #[test]
+    fn children_tile_the_parent_exactly() {
+        let d = Digests::with_shape(100, 4, 8);
+        let kids = d.children(0, 100);
+        assert_eq!(kids.len(), 4);
+        assert_eq!(kids.first(), Some(&(0, 25)));
+        assert_eq!(kids.last(), Some(&(75, 100)));
+        let mut cursor = 0;
+        for (lo, hi) in kids {
+            assert_eq!(lo, cursor);
+            assert!(hi > lo);
+            cursor = hi;
+        }
+        assert_eq!(cursor, 100);
+    }
+
+    #[test]
+    fn descent_terminates_at_the_leaf_width() {
+        let d = Digests::with_shape(4096, 4, 8);
+        let (mut lo, mut hi) = (0u32, 4096u32);
+        let mut depth = 0;
+        while !d.is_leaf(lo, hi) {
+            let kids = d.children(lo, hi);
+            (lo, hi) = kids[kids.len() - 1];
+            depth += 1;
+            assert!(depth < 64, "descent must terminate");
+        }
+        assert!(hi - lo <= 8);
+        // log4(4096 / 8) = 4.5 -> 5 levels.
+        assert_eq!(depth, 5);
+    }
+
+    #[test]
+    fn empty_ranges_share_the_basis_hash() {
+        let d = Digests::new(32);
+        let empty = StateStore::new();
+        assert_eq!(
+            d.range_hash(&empty, 0, 32),
+            d.range_hash(&store(&[(40, 1, 1)]), 0, 32),
+            "out-of-range keys must not leak into the hash"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the digest tree: the root hash is a faithful
+//! equality witness for whole state maps, and subtree hashes localise a
+//! diff to exactly the root-to-leaf path containing it — the two facts
+//! the Merkle-descent protocol's correctness and wire-cost bound both
+//! rest on.
+
+use proptest::prelude::*;
+
+use abe_statesync::{base_payload, fresh_payload, Digests, StateStore};
+
+/// Expands one raw 64-bit draw into a `(key, version, payload)` entry
+/// inside `key_space` (the vendored proptest generates scalars, not
+/// tuples, so entry vectors are derived from `Vec<u64>` draws).
+fn entry(raw: u64, key_space: u32) -> (u32, u64, u64) {
+    let key = (raw as u32) % key_space;
+    let version = 1 + (raw >> 32) % 3;
+    let payload = raw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (key, version, payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Root-hash equality holds iff the state maps are equal, across
+    /// random stores, tree shapes, and single-entry mutations (the
+    /// version order guarantees the mutation changes the map, so both
+    /// directions of the iff are exercised).
+    #[test]
+    fn root_hash_equality_iff_state_maps_equal(
+        key_space in 4u32..128,
+        entries in prop::collection::vec(any::<u64>(), 0..40),
+        fanout in 2u32..6,
+        leaf_width in 1u32..10,
+        mutate in any::<bool>(),
+        mutated_key in any::<u32>(),
+    ) {
+        let mut a = StateStore::new();
+        for &raw in &entries {
+            let (k, v, p) = entry(raw, key_space);
+            a.write(k, v, p);
+        }
+        let mut b = a.clone();
+        if mutate {
+            let k = mutated_key % key_space;
+            // A strictly higher version always applies, so the maps
+            // are guaranteed to differ on this branch.
+            let next = b.get(k).map_or(1, |(v, _)| v + 1);
+            b.write(k, next, 0xDEAD_BEEF);
+        }
+        prop_assert_eq!(a.map() == b.map(), !mutate);
+        let digests = Digests::with_shape(key_space, fanout, leaf_width);
+        prop_assert_eq!(
+            digests.root(&a) == digests.root(&b),
+            a.map() == b.map(),
+            "root hash disagrees with map equality (K={}, fanout={}, leaf={})",
+            key_space, fanout, leaf_width
+        );
+    }
+
+    /// A single-key diff is visible in exactly one child range at every
+    /// level of the tree — the range containing the key — so the
+    /// protocol's descent provably walks one root-to-leaf path and
+    /// nothing else.
+    #[test]
+    fn subtree_hashes_localise_a_single_key_diff(
+        key_space in 8u32..256,
+        key_index in any::<u32>(),
+        fanout in 2u32..5,
+        leaf_width in 1u32..9,
+    ) {
+        let k = key_index % key_space;
+        let mut a = StateStore::new();
+        for key in 0..key_space {
+            a.write(key, 1, base_payload(key));
+        }
+        let mut b = a.clone();
+        b.write(k, 2, fresh_payload(k));
+
+        let digests = Digests::with_shape(key_space, fanout, leaf_width);
+        prop_assert_ne!(digests.root(&a), digests.root(&b));
+        let (mut lo, mut hi) = (0u32, key_space);
+        while !digests.is_leaf(lo, hi) {
+            let mut next = None;
+            for (l, h) in digests.children(lo, hi) {
+                let differs =
+                    digests.range_hash(&a, l, h) != digests.range_hash(&b, l, h);
+                prop_assert_eq!(
+                    differs,
+                    (l..h).contains(&k),
+                    "range [{}, {}) vs diff at key {}",
+                    l, h, k
+                );
+                if differs {
+                    next = Some((l, h));
+                }
+            }
+            let (l, h) = next.expect("the child containing the key differs");
+            lo = l;
+            hi = h;
+        }
+        prop_assert!((lo..hi).contains(&k));
+    }
+
+    /// Removing the diff heals every range hash: writing the same entry
+    /// into the lagging store makes all subtree hashes equal again
+    /// (hashes depend only on content, never on write order).
+    #[test]
+    fn range_hashes_depend_on_content_not_history(
+        key_space in 4u32..64,
+        entries in prop::collection::vec(any::<u64>(), 1..30),
+    ) {
+        // Build the same map in two different orders.
+        let mut fwd = StateStore::new();
+        for &raw in &entries {
+            let (k, v, p) = entry(raw, key_space);
+            fwd.write(k, v, p);
+        }
+        let mut rev = StateStore::new();
+        for &raw in entries.iter().rev() {
+            let (k, v, p) = entry(raw, key_space);
+            rev.write(k, v, p);
+        }
+        // Last-writer-wins is order-independent, so maps agree...
+        prop_assert_eq!(fwd.map(), rev.map());
+        // ...and so must every range hash, at any granularity.
+        let digests = Digests::new(key_space);
+        prop_assert_eq!(digests.root(&fwd), digests.root(&rev));
+        for lo in (0..key_space).step_by(4) {
+            let hi = (lo + 4).min(key_space);
+            prop_assert_eq!(
+                digests.range_hash(&fwd, lo, hi),
+                digests.range_hash(&rev, lo, hi)
+            );
+        }
+    }
+}

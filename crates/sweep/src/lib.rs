@@ -54,6 +54,7 @@ use abe_consensus::{BrbOutcome, ConsensusOutcome};
 use abe_core::NetworkReport;
 use abe_election::ElectionOutcome;
 use abe_sim::SeedStream;
+use abe_statesync::SyncOutcome;
 use abe_stats::{Online, Summary};
 use crossbeam::channel::{unbounded, RecvTimeoutError};
 
@@ -552,6 +553,27 @@ impl CellMetrics {
             Some(latency) => m.metric("latency", latency),
             None => m,
         }
+    }
+
+    /// Records the standard metrics of one anti-entropy state-sync run:
+    /// the convergence indicator and residual divergence, rounds to
+    /// convergence (max gossip rounds any node initiated), data-plane
+    /// wire bytes from the engine's payload accounting, the digest/leaf
+    /// message split and shipped-entry total, virtual time, plus the
+    /// report telemetry. Non-convergence is *data* here (residuals and
+    /// the `converged` rate), not a panic.
+    pub fn with_sync(self, outcome: &SyncOutcome) -> Self {
+        let r = outcome.sync_report();
+        self.metric("converged", if r.converged { 1.0 } else { 0.0 })
+            .metric("residual_divergence", r.residual_divergence as f64)
+            .metric("rounds", r.rounds as f64)
+            .metric("wire_bytes", r.wire_bytes as f64)
+            .metric("time", r.time)
+            .counter("sync_digest_msgs", r.digest_msgs)
+            .counter("sync_leaf_msgs", r.leaf_msgs)
+            .counter("sync_entries_sent", r.entries_sent)
+            .counter("payload_bytes", r.wire_bytes)
+            .with_report(&outcome.report)
     }
 
     /// Reads one metric back.

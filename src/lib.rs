@@ -28,6 +28,7 @@
 //! | [`adversary`] | `abe-adversary` | budgeted scheduling adversaries (Definition 1's adversarial-delay clause) |
 //! | [`election`] | `abe-election` | the paper's §3 algorithm, ablation, Itai–Rodeh and Chang–Roberts baselines |
 //! | [`consensus`] | `abe-consensus` | Ben-Or binary consensus, Bracha reliable broadcast, BV-broadcast on complete ABE graphs |
+//! | [`statesync`] | `abe-statesync` | anti-entropy state sync: versioned stores, Merkle-style digest trees, convergence-classified runners |
 //! | [`sync`] | `abe-sync` | graph synchroniser (Theorem 1 floor), ABD synchroniser + violation counting, synchronous Itai–Rodeh |
 //! | [`stats`] | `abe-stats` | online moments, complexity-class fitting, tables |
 //! | [`wave`] | `abe-wave` | flooding broadcast and echo/PIF convergecast waves |
@@ -63,6 +64,7 @@ pub use abe_election as election;
 pub use abe_live as live;
 pub use abe_scenario as scenario;
 pub use abe_sim as sim;
+pub use abe_statesync as statesync;
 pub use abe_stats as stats;
 pub use abe_sync as sync;
 pub use abe_wave as wave;
