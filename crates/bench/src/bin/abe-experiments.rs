@@ -38,12 +38,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use abe_bench::{registry, sweep, RunCtx, Scale};
+use abe_bench::{registry, sweep, trace_cli, RunCtx, Scale};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("campaign") {
         return campaign_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_main(&args[1..]);
     }
     let mut scale = Scale::Quick;
     let mut selected: Vec<String> = Vec::new();
@@ -203,6 +206,187 @@ fn main() -> ExitCode {
         }
     }
 
+    ExitCode::SUCCESS
+}
+
+/// The `trace` subcommand: re-run one grid cell of a traceable
+/// experiment with telemetry recording on, emit `trace-v1` JSONL and
+/// the analysis report, or run the differential `--check`.
+fn trace_main(args: &[String]) -> ExitCode {
+    use abe_core::Recording;
+
+    let mut scale = Scale::Quick;
+    let mut experiment: Option<String> = None;
+    let mut selectors: Vec<(String, String)> = Vec::new();
+    let mut rep: u64 = 0;
+    let mut threads: usize = 1;
+    let mut shards: u32 = 1;
+    let mut out: Option<String> = None;
+    let mut cap: Option<usize> = None;
+    let mut chain: Option<(u32, u64)> = None;
+    let mut check = false;
+    let mut list_only = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--smoke" => scale = Scale::Smoke,
+            "--list" => list_only = true,
+            "--check" => check = true,
+            "--cell" => match iter.next().and_then(|v| v.split_once('=')) {
+                Some((k, v)) => selectors.push((k.to_string(), v.to_string())),
+                None => {
+                    eprintln!("--cell requires an AXIS=VALUE pair");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rep" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(r) => rep = r,
+                None => {
+                    eprintln!("--rep requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match iter.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("--shards requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("--out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cap" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => cap = Some(n),
+                None => {
+                    eprintln!("--cap requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--chain" => {
+                let parsed = iter.next().and_then(|v| {
+                    let (e, s) = v.split_once(':')?;
+                    Some((e.parse::<u32>().ok()?, s.parse::<u64>().ok()?))
+                });
+                match parsed {
+                    Some(pair) => chain = Some(pair),
+                    None => {
+                        eprintln!("--chain requires EDGE:SEQ (two unsigned integers)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "abe-experiments trace — re-run one grid cell with recording on\n\n\
+                     USAGE:\n  abe-experiments trace EXPERIMENT [--smoke|--quick|--full]\n\
+                     [--cell AXIS=VALUE]... [--rep N] [--shards N] [--threads N]\n\
+                     [--out FILE] [--cap N] [--chain EDGE:SEQ] [--check] [--list]\n\n\
+                     --cell AXIS=VALUE  pin one grid coordinate (repeatable); the\n\
+                                        selectors must identify exactly one combination\n\
+                     --rep N            repetition index on the seed axis (default 0)\n\
+                     --out FILE         write the trace-v1 JSONL file (see\n\
+                                        docs/TRACE_JSON.md); bytes are identical at any\n\
+                                        --threads/--shards setting\n\
+                     --cap N            retain only the most recent N records\n\
+                     --chain EDGE:SEQ   print the causal chain from that message\n\
+                     --check            differential mode: recording on/off report\n\
+                                        equality, zero drops, schema validity, shard\n\
+                                        byte-identity, auditor cross-check\n\
+                     --list             show the traceable experiments"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown trace flag: {flag} (try --help)");
+                return ExitCode::FAILURE;
+            }
+            id => experiment = Some(id.to_ascii_lowercase()),
+        }
+    }
+
+    let traceable = trace_cli::trace_registry();
+    if list_only {
+        for t in &traceable {
+            println!("{:>4}  {}", t.id, t.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(id) = experiment else {
+        eprintln!("trace needs an experiment id (try `trace --list`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(exp) = traceable.iter().find(|t| t.id == id) else {
+        eprintln!("experiment {id} is not traceable (try `trace --list`)");
+        return ExitCode::FAILURE;
+    };
+
+    let mut ctx = RunCtx::new(scale, threads);
+    ctx.shards = shards;
+    let spec = (exp.spec)(&ctx);
+    let cell = match trace_cli::select_cell(&spec, &selectors, rep) {
+        Ok(cell) => cell,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "tracing {id} cell [{}] (seed {}) at {} scale, {shards} shards",
+        cell.label(),
+        cell.seed(),
+        scale.name()
+    );
+
+    if check {
+        return match trace_cli::check_cell(exp, &ctx, &cell) {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("check failed: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let recording = match cap {
+        Some(n) => Recording::ring(n).payloads(true).histograms(true),
+        None => Recording::full().payloads(true).histograms(true),
+    };
+    let run = (exp.run_cell)(&ctx, &cell, Some(recording));
+    if let Some(path) = &out {
+        let file =
+            trace_cli::render_trace_file(&run, &trace_cli::trace_meta(id.as_str(), &ctx, &cell));
+        if let Err(err) = write_creating_dirs(path, file.as_bytes()) {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {path} ({} records, {} dropped)",
+            run.recorder().len(),
+            run.recorder().dropped()
+        );
+    }
+    print!("{}", trace_cli::analysis_report(&run));
+    if let Some((edge, seq)) = chain {
+        print!("\n{}", trace_cli::render_chain(&run, edge, seq, 64));
+    }
     ExitCode::SUCCESS
 }
 
@@ -400,6 +584,9 @@ fn print_help() {
          --json PATH one self-describing JSON document per experiment\n\
                      (single .json file for one experiment, else a directory)\n\n\
          SUBCOMMANDS:\n  campaign  run the declarative scenario corpus against its goldens\n\
-                   (see `abe-experiments campaign --help` and docs/SCENARIO.md)"
+                   (see `abe-experiments campaign --help` and docs/SCENARIO.md)\n\
+  trace     re-run one grid cell with telemetry recording on, emitting\n\
+                   trace-v1 JSONL and an analysis report (see\n\
+                   `abe-experiments trace --help` and docs/TRACE_JSON.md)"
     );
 }

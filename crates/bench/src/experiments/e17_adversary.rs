@@ -25,10 +25,10 @@ use std::sync::Arc;
 use abe_adversary::{Burst, Reorder, Swap, TargetHeat};
 use abe_core::delay::Pareto;
 use abe_core::AdversaryPlan;
-use abe_election::run_abe_calibrated;
+use abe_election::{run_abe_calibrated, RingConfig};
 use abe_stats::{fmt_num, Table};
 
-use crate::sweep::{CellMetrics, SweepSpec};
+use crate::sweep::{Cell, CellMetrics, SweepSpec};
 use crate::{ExperimentReport, RunCtx};
 
 use super::ring;
@@ -60,27 +60,54 @@ fn plan_for(strategy: &str, budget: f64) -> AdversaryPlan {
     }
 }
 
-/// Runs E17.
-pub fn run(ctx: &RunCtx) -> ExperimentReport {
-    let n: u32 = ctx.scale.pick3(16, 32, 64);
+/// The grid at `ctx`'s scale: `(n, budgets, seeds per point)`.
+fn grids(ctx: &RunCtx) -> (u32, &'static [f64], u64) {
     let budgets: &[f64] = ctx.scale.pick3(
         &[1.0, 4.0][..],
         &[1.0, 2.0, 4.0][..],
         &[1.0, 2.0, 4.0, 8.0][..],
     );
-    let reps = ctx.scale.pick3(5, 40, 150);
+    (
+        ctx.scale.pick3(16, 32, 64),
+        budgets,
+        ctx.scale.pick3(5, 40, 150),
+    )
+}
 
-    let spec = SweepSpec::new()
+/// The sweep grid E17 runs at `ctx`'s scale (also drives the `trace`
+/// subcommand's cell selection; see `crate::trace_cli`).
+pub fn spec(ctx: &RunCtx) -> SweepSpec {
+    let (_, budgets, reps) = grids(ctx);
+    SweepSpec::new()
         .axis_str("strategy", &STRATEGIES)
         .axis_f64("budget", budgets)
         .seeds(reps)
         // The baseline has no budget knob: keep it only at the first
         // budget value so it runs once per seed, not once per budget.
-        .filter(|c| c.idx("strategy") != 0 || c.idx("budget") == 0);
-    let outcome = ctx.sweep(spec, |cell| {
+        .filter(|c| c.idx("strategy") != 0 || c.idx("budget") == 0)
+}
+
+/// The exact ring configuration E17 runs for one cell of [`spec`], plus
+/// the cell's Definition-1 per-edge expected-delay bound (the adversarial
+/// budget, or δ for the unbudgeted baseline).
+pub fn cell_config(ctx: &RunCtx, cell: &Cell) -> (RingConfig, f64) {
+    let n = grids(ctx).0;
+    let budget = cell.f64("budget");
+    let bound = if cell.idx("strategy") == 0 {
+        DELTA
+    } else {
+        budget
+    };
+    let plan = plan_for(STRATEGIES[cell.idx("strategy")], budget);
+    (ring(ctx, n, DELTA, cell.seed()).adversary(plan), bound)
+}
+
+/// Runs E17.
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let (n, budgets, reps) = grids(ctx);
+    let outcome = ctx.sweep(spec(ctx), |cell| {
         let adversarial = cell.idx("strategy") != 0;
-        let plan = plan_for(STRATEGIES[cell.idx("strategy")], cell.f64("budget"));
-        let cfg = ring(ctx, n, DELTA, cell.seed()).adversary(plan);
+        let (cfg, _) = cell_config(ctx, cell);
         let o = run_abe_calibrated(&cfg, A);
         let metrics = CellMetrics::new().with_election(&o);
         if adversarial {

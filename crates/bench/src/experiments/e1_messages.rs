@@ -6,10 +6,10 @@
 //! `O(1) / O(n) / O(n log n) / O(n²)`; the best fit must be `O(n)` and
 //! `messages/n` must stay flat.
 
-use abe_election::run_abe_calibrated;
+use abe_election::{run_abe_calibrated, RingConfig};
 use abe_stats::{best_growth, fmt_num, Table};
 
-use crate::sweep::{CellMetrics, SweepSpec};
+use crate::sweep::{Cell, CellMetrics, SweepSpec};
 use crate::{ExperimentReport, RunCtx};
 
 use super::{election_stats, ring};
@@ -19,18 +19,33 @@ pub const A: f64 = 1.0;
 /// Expected delay bound δ used throughout.
 pub const DELTA: f64 = 1.0;
 
-/// Runs E1.
-pub fn run(ctx: &RunCtx) -> ExperimentReport {
+/// The grid at `ctx`'s scale: `(ring sizes, seeds per point)`.
+fn grids(ctx: &RunCtx) -> (&'static [u32], u64) {
     let sizes: &[u32] = ctx.scale.pick3(
         &[8, 16, 64][..],
         &[8, 16, 32, 64, 128, 256][..],
         &[8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096][..],
     );
-    let reps = ctx.scale.pick3(10, 40, 200);
+    (sizes, ctx.scale.pick3(10, 40, 200))
+}
 
-    let spec = SweepSpec::new().axis_u32("n", sizes).seeds(reps);
-    let outcome = ctx.sweep(spec, |cell| {
-        let o = run_abe_calibrated(&ring(ctx, cell.u32("n"), DELTA, cell.seed()), A);
+/// The sweep grid E1 runs at `ctx`'s scale (also drives the `trace`
+/// subcommand's cell selection; see `crate::trace_cli`).
+pub fn spec(ctx: &RunCtx) -> SweepSpec {
+    let (sizes, reps) = grids(ctx);
+    SweepSpec::new().axis_u32("n", sizes).seeds(reps)
+}
+
+/// The exact ring configuration E1 runs for one cell of [`spec`].
+pub fn cell_config(ctx: &RunCtx, cell: &Cell) -> RingConfig {
+    ring(ctx, cell.u32("n"), DELTA, cell.seed())
+}
+
+/// Runs E1.
+pub fn run(ctx: &RunCtx) -> ExperimentReport {
+    let reps = grids(ctx).1;
+    let outcome = ctx.sweep(spec(ctx), |cell| {
+        let o = run_abe_calibrated(&cell_config(ctx, cell), A);
         CellMetrics::new()
             .metric("knockouts", o.report.counter("knockouts") as f64)
             .with_election(&o)

@@ -29,6 +29,7 @@
 pub mod experiments;
 pub mod perf;
 pub mod sweep;
+pub mod trace_cli;
 
 use std::fmt;
 

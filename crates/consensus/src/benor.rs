@@ -200,6 +200,8 @@ impl BenOr {
             self.decided = Some(value);
             self.decide_events += 1;
             ctx.count("benor_decided", 1);
+            ctx.note_state("decided");
+            ctx.decide(u64::from(value));
         }
         if !self.halted {
             self.halted = true;

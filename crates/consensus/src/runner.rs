@@ -12,7 +12,7 @@ use abe_core::adversary::AdversaryPlan;
 use abe_core::clock::ClockSpec;
 use abe_core::delay::{Exponential, SharedDelay};
 use abe_core::fault::{FaultPlan, OutcomeClass};
-use abe_core::{NetworkBuilder, NetworkReport, Topology};
+use abe_core::{NetworkBuilder, NetworkReport, Recording, RunRecorder, Topology};
 use abe_sim::{RunLimits, SeedStream};
 
 use crate::benor::{BenOr, COIN_DOMAIN};
@@ -59,6 +59,11 @@ pub struct ConsensusConfig {
     pub adversary: AdversaryPlan,
     /// Shard count for deterministic parallel execution (defaults to 1).
     pub shards: u32,
+    /// Optional telemetry recording budget (defaults to `None`: no
+    /// recording). Recording never perturbs the run; the Ben-Or runner
+    /// exposes the captured recorder on
+    /// [`ConsensusOutcome::telemetry`].
+    pub record: Option<Recording>,
 }
 
 impl ConsensusConfig {
@@ -83,6 +88,7 @@ impl ConsensusConfig {
             fault: FaultPlan::new(),
             adversary: AdversaryPlan::none(),
             shards: 1,
+            record: None,
         }
     }
 
@@ -150,16 +156,27 @@ impl ConsensusConfig {
         self
     }
 
+    /// Enables telemetry recording for the run (see
+    /// [`abe_core::Recording`]).
+    pub fn record(mut self, record: Recording) -> Self {
+        self.record = Some(record);
+        self
+    }
+
     fn builder(&self) -> NetworkBuilder {
         let topo = Topology::complete(self.n).expect("n >= 1 was validated");
-        NetworkBuilder::new(topo)
+        let builder = NetworkBuilder::new(topo)
             .delay_shared(Arc::clone(&self.delay))
             .clocks(self.clocks)
             .fifo(self.fifo)
             .seed(self.seed)
             .fault(self.fault.clone())
             .adversary(self.adversary.clone())
-            .shards(self.shards)
+            .shards(self.shards);
+        match &self.record {
+            Some(r) => builder.record(r.clone()),
+            None => builder,
+        }
     }
 
     fn limits(&self) -> RunLimits {
@@ -229,6 +246,9 @@ pub struct ConsensusOutcome {
     pub time: f64,
     /// The full network report (counters etc.).
     pub report: NetworkReport,
+    /// Captured telemetry, when [`ConsensusConfig::record`] enabled
+    /// recording.
+    pub telemetry: Option<Box<RunRecorder>>,
 }
 
 impl ConsensusOutcome {
@@ -290,7 +310,8 @@ pub fn run_benor(cfg: &ConsensusConfig, inputs: InputAssignment) -> ConsensusOut
             )
         })
         .expect("complete-graph configuration is structurally valid");
-    let (report, net) = execute(cfg, net);
+    let (report, mut net) = execute(cfg, net);
+    let telemetry = net.take_telemetry();
     let nodes = net.into_protocols();
     ConsensusOutcome {
         n,
@@ -301,6 +322,7 @@ pub fn run_benor(cfg: &ConsensusConfig, inputs: InputAssignment) -> ConsensusOut
         decide_events: nodes.iter().map(|p| p.decide_events()).collect(),
         time: report.end_time.as_secs(),
         report,
+        telemetry,
     }
 }
 

@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use abe_sim::SeedStream;
+use abe_telemetry::Recording;
 
 use crate::adversary::AdversaryPlan;
 use crate::class::NetworkClass;
@@ -66,7 +67,7 @@ pub struct NetworkBuilder {
     seed: u64,
     tick_interval: f64,
     class: Option<NetworkClass>,
-    trace_capacity: usize,
+    record: Option<Recording>,
     fault: FaultPlan,
     adversary: AdversaryPlan,
     shards: u32,
@@ -87,7 +88,7 @@ impl NetworkBuilder {
             seed: 0,
             tick_interval: 1.0,
             class: None,
-            trace_capacity: 0,
+            record: None,
             fault: FaultPlan::new(),
             adversary: AdversaryPlan::none(),
             shards: 1,
@@ -209,8 +210,26 @@ impl NetworkBuilder {
     /// Enables execution tracing, retaining at most `capacity` event
     /// records (default 0 = disabled). Read back via
     /// [`Network::trace`](crate::Network::trace).
-    pub fn trace_capacity(mut self, capacity: usize) -> Self {
-        self.trace_capacity = capacity;
+    ///
+    /// Sugar for [`record`](Self::record) with
+    /// `Recording::ring(capacity).payloads(true)`; `0` disables recording
+    /// entirely.
+    pub fn trace_capacity(self, capacity: usize) -> Self {
+        let record = (capacity > 0).then(|| Recording::ring(capacity).payloads(true));
+        Self { record, ..self }
+    }
+
+    /// Installs a telemetry [`Recording`] budget: every kernel event
+    /// (dispatches, sends, deliveries, drops, faults, protocol marks) is
+    /// recorded as a typed [`abe_telemetry::TraceRecord`]. Read back via
+    /// [`Network::trace`](crate::Network::trace) /
+    /// [`Network::telemetry`](crate::Network::telemetry).
+    ///
+    /// Recording is passive: it draws no randomness and never perturbs
+    /// scheduling, so the run (and its report) is identical with recording
+    /// on or off.
+    pub fn record(mut self, recording: Recording) -> Self {
+        self.record = Some(recording);
         self
     }
 
@@ -292,7 +311,7 @@ impl NetworkBuilder {
             proc_rng,
             self.fifo,
             self.tick_interval,
-            self.trace_capacity,
+            self.record,
             faults,
             adversary,
             self.shards,

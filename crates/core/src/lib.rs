@@ -87,13 +87,14 @@ mod protocol;
 pub mod shard;
 pub mod topology;
 
+pub use abe_telemetry::{Recording, RunRecorder, TraceEvent, TraceRecord};
 pub use adversary::{Adversary, AdversaryPlan, AdversaryStats, BudgetAuditor, SendView};
 pub use builder::NetworkBuilder;
 pub use class::{AbeParams, NetworkClass};
 pub use error::{BuildError, ClassViolation, InvalidParamError, TopologyError};
 pub use fault::{FaultPlan, FaultStats, OutcomeClass};
 pub use net::{NetEvent, Network, NetworkReport, ShardTiming};
-pub use protocol::{geometric_trials, Ctx, CtxEffects, InPort, OutPort, Protocol};
+pub use protocol::{geometric_trials, Ctx, CtxEffects, InPort, Mark, OutPort, Protocol};
 pub use topology::Topology;
 
 #[cfg(test)]

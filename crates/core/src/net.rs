@@ -17,15 +17,16 @@ use std::fmt;
 use std::sync::Arc;
 
 use abe_sim::{
-    EventToken, QueueStats, RunLimits, RunOutcome, SimTime, Simulation, StepCtx, TraceBuffer,
-    World, Xoshiro256PlusPlus,
+    EventToken, QueueStats, RunLimits, RunOutcome, SimTime, Simulation, StepCtx, World,
+    Xoshiro256PlusPlus,
 };
+use abe_telemetry::{Recording, RunRecorder, TraceEvent};
 
 use crate::adversary::{AdversaryRuntime, AdversaryStats};
 use crate::clock::LocalClock;
 use crate::delay::SharedDelay;
 use crate::fault::{FaultRuntime, FaultStats, SendFate};
-use crate::protocol::{Ctx, InPort, Protocol};
+use crate::protocol::{Ctx, InPort, Mark, Protocol};
 use crate::topology::{EdgeId, NodeId, Topology};
 
 /// Events driving a [`Network`].
@@ -39,6 +40,10 @@ pub enum NetEvent<M> {
     Deliver {
         /// The edge carrying the message.
         edge: u32,
+        /// Declared wire size of the payload in bytes (0 for plain
+        /// [`Ctx::send`]); carried so delivery-side trace records can
+        /// stamp the size without consulting send-side state.
+        size: u64,
         /// The payload.
         msg: M,
     },
@@ -130,6 +135,14 @@ pub struct NetworkReport {
     /// Scheduling-adversary auditor telemetry (intercepts, clamps, max
     /// per-edge empirical mean); all zero when no adversary was installed.
     pub adversary: AdversaryStats,
+    /// Trace records observed by the recorder (0 when recording was off).
+    /// Observability metadata: excluded from `==`, which compares what
+    /// *happened* in the run, not how much of it was watched.
+    pub trace_records: u64,
+    /// Trace records evicted by the recorder's retention cap (0 when
+    /// recording was off or unbounded). Excluded from `==` like
+    /// [`trace_records`](Self::trace_records).
+    pub trace_dropped: u64,
     /// Experiment counters accumulated via [`Ctx::count`].
     pub counters: BTreeMap<&'static str, u64>,
 }
@@ -212,7 +225,9 @@ pub struct Network<P: Protocol> {
     pub(crate) messages_delivered: u64,
     pub(crate) ticks: u64,
     pub(crate) payload_bytes: u64,
-    pub(crate) trace: Option<TraceBuffer<String>>,
+    /// The run recorder, when recording was requested (boxed: the
+    /// recorder is cold state and the network is cloned per shard).
+    pub(crate) rec: Option<Box<RunRecorder>>,
     pub(crate) faults: FaultRuntime,
     pub(crate) adversary: Option<AdversaryRuntime>,
     /// Requested shard count (from [`NetworkBuilder::shards`]); 1 = run
@@ -225,8 +240,9 @@ pub struct Network<P: Protocol> {
     /// when the network owns every edge (`channels[e]` is edge `e`).
     pub(crate) edge_ranks: Option<Vec<u32>>,
     /// Cross-shard sends produced during a window: `(arrival, key, edge,
-    /// message)`, routed into the destination shard at the next barrier.
-    pub(crate) outbox: Vec<(SimTime, u64, u32, P::Message)>,
+    /// size, message)`, routed into the destination shard at the next
+    /// barrier.
+    pub(crate) outbox: Vec<(SimTime, u64, u32, u64, P::Message)>,
     /// Telemetry of the last sharded run (set on the merged network).
     pub(crate) timing: Option<ShardTiming>,
 }
@@ -250,7 +266,7 @@ where
             messages_delivered: self.messages_delivered,
             ticks: self.ticks,
             payload_bytes: self.payload_bytes,
-            trace: self.trace.clone(),
+            rec: self.rec.clone(),
             faults: self.faults.clone(),
             adversary: self.adversary.clone(),
             shards: self.shards,
@@ -282,7 +298,7 @@ impl<P: Protocol> Network<P> {
         proc_rng: Xoshiro256PlusPlus,
         fifo: bool,
         tick_interval: f64,
-        trace_capacity: usize,
+        record: Option<Recording>,
         faults: FaultRuntime,
         adversary: Option<AdversaryRuntime>,
         shards: u32,
@@ -336,7 +352,7 @@ impl<P: Protocol> Network<P> {
             messages_delivered: 0,
             ticks: 0,
             payload_bytes: 0,
-            trace: (trace_capacity > 0).then(|| TraceBuffer::new(trace_capacity)),
+            rec: record.map(|r| Box::new(RunRecorder::new(&r))),
             faults,
             adversary,
             shards: shards.max(1),
@@ -366,13 +382,29 @@ impl<P: Protocol> Network<P> {
         self.timing.as_ref()
     }
 
-    /// The retained execution trace, if tracing was enabled via
-    /// [`NetworkBuilder::trace_capacity`](crate::NetworkBuilder::trace_capacity).
+    /// The retained execution trace, if recording was enabled via
+    /// [`NetworkBuilder::record`](crate::NetworkBuilder::record) (or its
+    /// [`trace_capacity`](crate::NetworkBuilder::trace_capacity) sugar).
     ///
-    /// Records one line per network event (`deliver`, `tick`, `start`),
-    /// oldest first, bounded by the configured capacity.
-    pub fn trace(&self) -> impl Iterator<Item = &abe_sim::TraceRecord<String>> {
-        self.trace.iter().flat_map(|t| t.iter())
+    /// Yields typed [`TraceRecord`](abe_telemetry::TraceRecord)s, oldest
+    /// first, bounded by the recording's retention cap. `Display` on a
+    /// record's event reproduces the historical string-trace lines
+    /// (`"start n0"`, `"deliver n0 -> n1: ()"`, …).
+    pub fn trace(&self) -> impl Iterator<Item = &abe_telemetry::TraceRecord> {
+        self.rec.iter().flat_map(|r| r.records())
+    }
+
+    /// The run recorder, when recording was enabled: retained records,
+    /// seen/dropped counts, and the optional histogram aggregate.
+    pub fn telemetry(&self) -> Option<&RunRecorder> {
+        self.rec.as_deref()
+    }
+
+    /// Detaches the run recorder from the network, leaving recording
+    /// disabled. Runner layers use this to hand the captured telemetry to
+    /// their outcome structs without cloning the record buffer.
+    pub fn take_telemetry(&mut self) -> Option<Box<RunRecorder>> {
+        self.rec.take()
     }
 
     /// The topology this network runs on.
@@ -464,6 +496,8 @@ impl<P: Protocol> Network<P> {
                 .adversary
                 .as_ref()
                 .map_or_else(AdversaryStats::default, AdversaryRuntime::stats),
+            trace_records: net.rec.as_ref().map_or(0, |r| r.seen()),
+            trace_dropped: net.rec.as_ref().map_or(0, |r| r.dropped()),
             // The report takes ownership of the accumulated counters; the
             // returned network keeps the protocol states but no longer
             // carries them (they have no accessor on `Network` anyway).
@@ -485,7 +519,7 @@ impl<P: Protocol> Network<P> {
         let network_size = self.topo.node_count();
 
         let local = self.node_slot(node_index);
-        let (outbox, counters, payload_bytes, stop) = {
+        let (outbox, counters, marks, payload_bytes, stop) = {
             let reply_ports = &self.reply_ports[node_index as usize];
             let slot = &mut self.nodes[local];
             let local_time = slot.clock.advance_to(step.now());
@@ -505,8 +539,23 @@ impl<P: Protocol> Network<P> {
             ctx.into_effects()
         };
 
-        for (port, msg) in outbox {
-            self.transmit(step, node_id, port.0, msg);
+        for (port, msg, bytes) in outbox {
+            self.transmit(step, node_id, port.0, msg, bytes);
+        }
+        // Marks trail the dispatch's send records, in call order.
+        if let Some(r) = self.rec.as_deref_mut() {
+            for mark in marks {
+                r.emit(match mark {
+                    Mark::State(to) => TraceEvent::StateChange {
+                        node: node_index,
+                        to,
+                    },
+                    Mark::Decide(value) => TraceEvent::Decide {
+                        node: node_index,
+                        value,
+                    },
+                });
+            }
         }
         for (name, amount) in counters {
             *self.counters.entry(name).or_insert(0) += amount;
@@ -525,6 +574,7 @@ impl<P: Protocol> Network<P> {
         src: NodeId,
         port: usize,
         msg: P::Message,
+        size: u64,
     ) {
         let edge = self.topo.out_edges(src)[port];
         let dst = self.topo.edge(edge).dst;
@@ -557,9 +607,33 @@ impl<P: Protocol> Network<P> {
             SendFate::DropPartition | SendFate::DropRandom => {
                 // Sent but lost in transit: the send is accounted, the
                 // delivery never scheduled; FaultStats carries the loss.
+                // The drop verdict precedes the adversary hook, so no
+                // granted delay exists — the trace carries only the drop
+                // record (no `Send`).
                 channel.sent += 1;
                 self.messages_sent += 1;
                 self.nodes[src_local].messages_sent += 1;
+                if let Some(r) = self.rec.as_deref_mut() {
+                    let (edge, src, dst) =
+                        (edge.index() as u32, src.index() as u32, dst.index() as u32);
+                    r.emit(if fate == SendFate::DropPartition {
+                        TraceEvent::DropPartition {
+                            edge,
+                            src,
+                            dst,
+                            seq: send_seq,
+                            size,
+                        }
+                    } else {
+                        TraceEvent::DropRandom {
+                            edge,
+                            src,
+                            dst,
+                            seq: send_seq,
+                            size,
+                        }
+                    });
+                }
                 return;
             }
         };
@@ -591,6 +665,19 @@ impl<P: Protocol> Network<P> {
         channel.sent += 1;
         self.messages_sent += 1;
         self.nodes[src_local].messages_sent += 1;
+        if let Some(r) = self.rec.as_deref_mut() {
+            // `channel_delay` here is the *granted* delay: post-adversary,
+            // pre-storm-stretch — exactly what Definition 1 bounds in
+            // expectation and what `BudgetAuditor` audits.
+            r.emit(TraceEvent::Send {
+                edge: edge.index() as u32,
+                src: src.index() as u32,
+                dst: dst.index() as u32,
+                seq: send_seq,
+                size,
+                delay: channel_delay.as_secs(),
+            });
+        }
         let key = event_key(KIND_DELIVER, edge.index() as u32, send_seq);
         if self.owns_node(dst.index() as u32) {
             step.schedule_at_keyed(
@@ -598,6 +685,7 @@ impl<P: Protocol> Network<P> {
                 key,
                 NetEvent::Deliver {
                     edge: edge.index() as u32,
+                    size,
                     msg,
                 },
             );
@@ -605,7 +693,8 @@ impl<P: Protocol> Network<P> {
             // Cross-shard send: held in the outbox and routed into the
             // destination shard's queue at the next window barrier. The
             // key makes insertion order irrelevant.
-            self.outbox.push((arrival, key, edge.index() as u32, msg));
+            self.outbox
+                .push((arrival, key, edge.index() as u32, size, msg));
         }
     }
 
@@ -647,28 +736,26 @@ impl<P: Protocol> World for Network<P> {
     type Event = NetEvent<P::Message>;
 
     fn handle(&mut self, step: &mut StepCtx<'_, Self::Event>, event: Self::Event) {
-        if let Some(trace) = &mut self.trace {
-            let line = match &event {
-                NetEvent::Start(i) => format!("start n{i}"),
-                NetEvent::Tick(i) => format!("tick n{i}"),
-                NetEvent::Deliver { edge, msg } => {
-                    let eid = EdgeId_from(*edge);
-                    let e = self.topo.edge(eid);
-                    format!("deliver {} -> {}: {msg:?}", e.src, e.dst)
-                }
-                NetEvent::Crash(i) => format!("crash n{i}"),
-                NetEvent::Recover(i) => format!("recover n{i}"),
-            };
-            trace.push(step.now(), line);
+        // Open the dispatch's trace stamp: `(now, key)` identify the
+        // kernel event being handled, identically in sequential and
+        // sharded execution (keys encode event identity, not order).
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.begin(step.now(), step.key());
         }
         match event {
             NetEvent::Start(i) => {
+                if let Some(r) = self.rec.as_deref_mut() {
+                    r.emit(TraceEvent::Start { node: i });
+                }
                 if self.faults.is_down(i as usize) {
                     return;
                 }
                 self.dispatch(step, i, Dispatch::Start);
             }
             NetEvent::Tick(i) => {
+                if let Some(r) = self.rec.as_deref_mut() {
+                    r.emit(TraceEvent::Tick { node: i });
+                }
                 let local = self.node_slot(i);
                 self.nodes[local].tick_token = None;
                 // Defensive: crashes cancel the pending tick, so a tick
@@ -679,14 +766,45 @@ impl<P: Protocol> World for Network<P> {
                 self.ticks += 1;
                 self.dispatch(step, i, Dispatch::Tick);
             }
-            NetEvent::Deliver { edge, msg } => {
+            NetEvent::Deliver { edge, size, msg } => {
                 let eid = EdgeId_from(edge);
-                let dst = self.topo.edge(eid).dst;
+                let e = self.topo.edge(eid);
+                let dst = e.dst;
+                let src = e.src;
                 if self.faults.is_down(dst.index()) {
                     // The destination is crashed: the message is lost, not
                     // delivered — counted so telemetry still balances.
+                    if let Some(r) = self.rec.as_deref_mut() {
+                        // The deliver key embeds the per-edge send seq.
+                        let seq = step.key() & ((1 << KEY_SEQ_BITS) - 1);
+                        r.emit(TraceEvent::DropCrash {
+                            edge,
+                            src: src.index() as u32,
+                            dst: dst.index() as u32,
+                            seq,
+                            size,
+                        });
+                    }
                     self.faults.note_dropped_crash();
                     return;
+                }
+                if self.rec.is_some() {
+                    let seq = step.key() & ((1 << KEY_SEQ_BITS) - 1);
+                    let payload = self
+                        .rec
+                        .as_deref()
+                        .is_some_and(RunRecorder::capture_payloads)
+                        .then(|| format!("{msg:?}").into_boxed_str());
+                    if let Some(r) = self.rec.as_deref_mut() {
+                        r.emit(TraceEvent::Deliver {
+                            edge,
+                            src: src.index() as u32,
+                            dst: dst.index() as u32,
+                            seq,
+                            size,
+                            payload,
+                        });
+                    }
                 }
                 let port = InPort(self.topo.in_port(eid));
                 self.messages_delivered += 1;
@@ -695,6 +813,9 @@ impl<P: Protocol> World for Network<P> {
                 self.dispatch(step, dst.index() as u32, Dispatch::Message(port, msg));
             }
             NetEvent::Crash(i) => {
+                if let Some(r) = self.rec.as_deref_mut() {
+                    r.emit(TraceEvent::Crash { node: i });
+                }
                 // Freeze the node: cancel its pending tick (visible in the
                 // queue's cancelled counter) and mark it down.
                 let local = self.node_slot(i);
@@ -704,6 +825,9 @@ impl<P: Protocol> World for Network<P> {
                 self.faults.on_crash(i as usize);
             }
             NetEvent::Recover(i) => {
+                if let Some(r) = self.rec.as_deref_mut() {
+                    r.emit(TraceEvent::Recover { node: i });
+                }
                 self.faults.on_recover(i as usize);
                 if !self.faults.is_down(i as usize) {
                     // Resume ticking if the (frozen) protocol wants it.
@@ -907,11 +1031,24 @@ mod tick_tests {
             })
             .unwrap();
         let (_, net) = net.run(RunLimits::unbounded());
-        let lines: Vec<&str> = net.trace().map(|r| r.data.as_str()).collect();
-        assert_eq!(lines, vec!["start n0", "start n1", "deliver n0 -> n1: ()"]);
+        let lines: Vec<String> = net.trace().map(|r| r.event.to_string()).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "start n0",
+                "send n0 -> n1",
+                "start n1",
+                "deliver n0 -> n1: ()",
+            ]
+        );
         // Timestamps are monotone.
         let times: Vec<f64> = net.trace().map(|r| r.time.as_secs()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Records of one dispatch share its (time, key) stamp with
+        // consecutive sub indices: `start n0` and its send.
+        let stamps: Vec<(u64, u32)> = net.trace().map(|r| (r.key, r.sub)).collect();
+        assert_eq!(stamps[0].0, stamps[1].0);
+        assert_eq!((stamps[0].1, stamps[1].1), (0, 1));
     }
 
     #[test]
@@ -937,10 +1074,18 @@ mod tick_tests {
                 seen: Vec::new(),
             })
             .unwrap();
-        let (_, net) = net.run(RunLimits::unbounded());
-        // Only the newest record is retained.
+        let (report, net) = net.run(RunLimits::unbounded());
+        // Only the newest record is retained; evictions are counted.
         assert_eq!(net.trace().count(), 1);
-        assert_eq!(net.trace().next().unwrap().data, "deliver n0 -> n1: ()");
+        assert_eq!(
+            net.trace().next().unwrap().event.to_string(),
+            "deliver n0 -> n1: ()"
+        );
+        let rec = net.telemetry().expect("recording enabled");
+        assert_eq!(rec.seen(), 4);
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(report.trace_records, 4);
+        assert_eq!(report.trace_dropped, 3);
     }
 
     #[test]
@@ -1130,9 +1275,15 @@ mod fault_tests {
             })
             .unwrap();
         let (_, net) = net.run(RunLimits::unbounded());
-        let lines: Vec<&str> = net.trace().map(|r| r.data.as_str()).collect();
-        assert!(lines.contains(&"crash n1"), "{lines:?}");
-        assert!(lines.contains(&"recover n1"), "{lines:?}");
+        let lines: Vec<String> = net.trace().map(|r| r.event.to_string()).collect();
+        assert!(lines.iter().any(|l| l == "crash n1"), "{lines:?}");
+        assert!(lines.iter().any(|l| l == "recover n1"), "{lines:?}");
+        // A delivery that hit the down window is recorded as a typed
+        // crash-drop, not a delivery.
+        assert!(
+            lines.iter().any(|l| l.starts_with("drop-crash")),
+            "{lines:?}"
+        );
     }
 
     #[test]

@@ -154,15 +154,35 @@ pub fn geometric_trials(rng: &mut Xoshiro256PlusPlus, p: f64) -> u64 {
 /// this workspace — never touch the allocator on the dispatch hot path.
 pub(crate) const INLINE_EFFECTS: usize = 4;
 
-/// Inline send buffer: `(port, message)` pairs in send order.
-pub(crate) type Outbox<M> = SmallVec<[(OutPort, M); INLINE_EFFECTS]>;
+/// Inline send buffer: `(port, message, declared bytes)` triples in send
+/// order. The per-send byte count feeds both the aggregate
+/// `payload_bytes` and the wire `size` stamped on trace records.
+pub(crate) type Outbox<M> = SmallVec<[(OutPort, M, u64); INLINE_EFFECTS]>;
 
 /// Inline counter buffer: `(name, amount)` increments in call order.
 pub(crate) type CounterBumps = SmallVec<[(&'static str, u64); INLINE_EFFECTS]>;
 
+/// Inline mark buffer: observability marks in call order.
+pub(crate) type Marks = SmallVec<[Mark; 2]>;
+
 /// Internal tuple form of the collected effects:
-/// `(outbox, counters, payload bytes, stop)`.
-pub(crate) type RawEffects<M> = (Outbox<M>, CounterBumps, u64, bool);
+/// `(outbox, counters, marks, payload bytes, stop)`.
+pub(crate) type RawEffects<M> = (Outbox<M>, CounterBumps, Marks, u64, bool);
+
+/// An observability mark a handler declared via [`Ctx::note_state`] or
+/// [`Ctx::decide`].
+///
+/// Marks are trace-only: they never influence scheduling, RNG streams,
+/// counters, or the final report. With recording disabled they are
+/// discarded unread, so instrumented protocols behave bit-identically
+/// whether or not anyone is watching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// The node entered the named protocol state.
+    State(&'static str),
+    /// The node irrevocably decided a value.
+    Decide(u64),
+}
 
 /// Effects collected by a [`Ctx`] during one handler dispatch.
 ///
@@ -174,6 +194,8 @@ pub struct CtxEffects<M> {
     pub sends: Vec<(OutPort, M)>,
     /// Counter increments to aggregate.
     pub counters: Vec<(&'static str, u64)>,
+    /// Observability marks, in call order (trace-only; see [`Mark`]).
+    pub marks: Vec<Mark>,
     /// Total declared payload bytes of this dispatch's sends (see
     /// [`Ctx::send_sized`]).
     pub payload_bytes: u64,
@@ -195,6 +217,7 @@ pub struct Ctx<'a, M> {
     rng: &'a mut Xoshiro256PlusPlus,
     outbox: Outbox<M>,
     counters: CounterBumps,
+    marks: Marks,
     payload_bytes: u64,
     stop: bool,
 }
@@ -218,6 +241,7 @@ impl<'a, M> Ctx<'a, M> {
             rng,
             outbox: SmallVec::new(),
             counters: SmallVec::new(),
+            marks: SmallVec::new(),
             payload_bytes: 0,
             stop: false,
         }
@@ -236,7 +260,7 @@ impl<'a, M> Ctx<'a, M> {
             "send on {port} but node has out-degree {}",
             self.out_degree
         );
-        self.outbox.push((port, msg));
+        self.outbox.push((port, msg, 0));
     }
 
     /// Sends `msg` on the outgoing edge at `port`, declaring its wire size.
@@ -254,7 +278,12 @@ impl<'a, M> Ctx<'a, M> {
     /// Panics if `port` is not below [`out_degree`](Self::out_degree).
     #[track_caller]
     pub fn send_sized(&mut self, port: OutPort, msg: M, bytes: u64) {
-        self.send(port, msg);
+        assert!(
+            port.0 < self.out_degree,
+            "send on {port} but node has out-degree {}",
+            self.out_degree
+        );
+        self.outbox.push((port, msg, bytes));
         self.payload_bytes += bytes;
     }
 
@@ -320,10 +349,32 @@ impl<'a, M> Ctx<'a, M> {
         self.counters.push((counter, amount));
     }
 
+    /// Declares that this node just entered protocol state `state`.
+    ///
+    /// Trace-only (see [`Mark`]): with recording off the mark is
+    /// discarded; it never affects scheduling, RNG draws, counters, or
+    /// the report. Use stable static names like `"leader"` or
+    /// `"decided"`.
+    pub fn note_state(&mut self, state: &'static str) {
+        self.marks.push(Mark::State(state));
+    }
+
+    /// Declares that this node irrevocably decided `value`. Trace-only,
+    /// like [`note_state`](Self::note_state).
+    pub fn decide(&mut self, value: u64) {
+        self.marks.push(Mark::Decide(value));
+    }
+
     /// Consumes the context, returning collected effects
-    /// `(outbox, counters, payload bytes, stop)`.
+    /// `(outbox, counters, marks, payload bytes, stop)`.
     pub(crate) fn into_effects(self) -> RawEffects<M> {
-        (self.outbox, self.counters, self.payload_bytes, self.stop)
+        (
+            self.outbox,
+            self.counters,
+            self.marks,
+            self.payload_bytes,
+            self.stop,
+        )
     }
 
     /// Creates a context for an **external runtime** (one not built on the
@@ -357,8 +408,13 @@ impl<'a, M> Ctx<'a, M> {
     /// directly), this converts to plain `Vec`s for API stability.
     pub fn finish(self) -> CtxEffects<M> {
         CtxEffects {
-            sends: self.outbox.into_vec(),
+            sends: self
+                .outbox
+                .into_iter()
+                .map(|(port, msg, _bytes)| (port, msg))
+                .collect(),
             counters: self.counters.into_vec(),
+            marks: self.marks.into_vec(),
             payload_bytes: self.payload_bytes,
             stop: self.stop,
         }
@@ -393,9 +449,12 @@ mod tests {
         let mut ctx: Ctx<'_, u32> = Ctx::new(0.0, 4, 2, 1, &[], &mut r);
         ctx.send(OutPort(0), 10);
         ctx.send(OutPort(1), 20);
-        let (outbox, _, bytes, _) = ctx.into_effects();
+        let (outbox, _, _, bytes, _) = ctx.into_effects();
         assert!(!outbox.spilled(), "small outboxes must stay inline");
-        assert_eq!(outbox.into_vec(), vec![(OutPort(0), 10), (OutPort(1), 20)]);
+        assert_eq!(
+            outbox.into_vec(),
+            vec![(OutPort(0), 10, 0), (OutPort(1), 20, 0)]
+        );
         assert_eq!(bytes, 0, "plain sends declare no payload size");
     }
 
@@ -406,8 +465,14 @@ mod tests {
         ctx.send_sized(OutPort(0), 10, 16);
         ctx.send(OutPort(1), 20);
         ctx.send_sized(OutPort(1), 30, 24);
-        let (outbox, _, bytes, _) = ctx.into_effects();
+        let (outbox, _, _, bytes, _) = ctx.into_effects();
+        let outbox = outbox.into_vec();
         assert_eq!(outbox.len(), 3, "sized sends still enqueue messages");
+        assert_eq!(
+            outbox[0],
+            (OutPort(0), 10, 16),
+            "each send remembers its own declared size"
+        );
         assert_eq!(bytes, 40);
     }
 
@@ -446,9 +511,38 @@ mod tests {
         ctx.count("knockout", 2);
         ctx.count("knockout", 1);
         ctx.stop_network();
-        let (_, counters, _, stop) = ctx.into_effects();
+        let (_, counters, _, _, stop) = ctx.into_effects();
         assert_eq!(counters.into_vec(), vec![("knockout", 2), ("knockout", 1)]);
         assert!(stop);
+    }
+
+    #[test]
+    fn marks_are_collected_in_call_order() {
+        let mut r = rng();
+        let mut ctx: Ctx<'_, ()> = Ctx::new(0.0, 1, 0, 0, &[], &mut r);
+        ctx.note_state("passive");
+        ctx.decide(3);
+        ctx.note_state("decided");
+        let (_, _, marks, _, _) = ctx.into_effects();
+        assert_eq!(
+            marks.into_vec(),
+            vec![
+                Mark::State("passive"),
+                Mark::Decide(3),
+                Mark::State("decided"),
+            ]
+        );
+    }
+
+    #[test]
+    fn finish_exposes_marks_without_sizes() {
+        let mut r = rng();
+        let mut ctx: Ctx<'_, u32> = Ctx::external(0.0, 2, 1, 1, &[], &mut r);
+        ctx.send_sized(OutPort(0), 1, 8);
+        ctx.decide(1);
+        let effects = ctx.finish();
+        assert_eq!(effects.sends, vec![(OutPort(0), 1)]);
+        assert_eq!(effects.marks, vec![Mark::Decide(1)]);
     }
 
     #[test]

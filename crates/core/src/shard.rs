@@ -47,8 +47,14 @@
 //! * a protocol requests a stop inside a parallel window (other shards
 //!   have already raced past the stop point),
 //! * the event budget is exhausted strictly inside a window,
-//! * a scheduling adversary or execution trace is installed (both observe
-//!   global state mid-run); these delegate up front.
+//! * a scheduling adversary is installed (it observes global node heat on
+//!   every send); this delegates up front.
+//!
+//! Telemetry recording is **not** one of these cases: each shard records
+//! into an unbounded window-local buffer, and at every barrier the buffers
+//! are merged into the master recorder in `(time, key, sub)` order — the
+//! exact order the sequential run would have emitted — so traces (and the
+//! histograms derived from them) are byte-identical at any shard count.
 //!
 //! [`ShardTiming`] on the returned network records windows, degenerate
 //! single-steps, per-shard busy time, and the critical path, so harnesses
@@ -60,6 +66,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use abe_sim::{QueueStats, RunLimits, RunOutcome, SimTime, Simulation};
+use abe_telemetry::{merge_chunks, RunRecorder};
 
 use crate::adversary::AdversaryStats;
 use crate::fault::FaultRuntime;
@@ -100,8 +107,10 @@ where
     /// The returned [`NetworkReport`] — outcome, end time, event count,
     /// message counters, fault statistics, queue telemetry — is equal to
     /// the sequential run's for every shard count; see the
-    /// [module docs](crate::shard) for why. Runs that cannot be
-    /// parallelised faithfully (installed adversary, enabled trace, a
+    /// [module docs](crate::shard) for why — including any recorded
+    /// trace, which is merged back into global `(time, key, sub)` order at
+    /// every window barrier. Runs that cannot be
+    /// parallelised faithfully (installed adversary, a
     /// mid-window stop or event-budget exhaustion) are re-run sequentially
     /// on a pristine copy, preserving the guarantee at the cost of the
     /// speedup; [`Network::shard_timing`] reports whether that happened.
@@ -109,9 +118,10 @@ where
         let n = self.topo.node_count();
         let shards = self.shards.min(n).max(1);
         // Delegate whole-run observers (and trivial shard counts) to the
-        // sequential loop: an adversary reads global node heat per send,
-        // and a trace must interleave records in global time order.
-        if shards <= 1 || self.adversary.is_some() || self.trace.is_some() {
+        // sequential loop: an adversary reads global node heat per send.
+        // Telemetry recording does NOT delegate — shard-local window
+        // buffers are merged at each barrier (see the module docs).
+        if shards <= 1 || self.adversary.is_some() {
             return self.run(limits);
         }
         let pristine = self.clone();
@@ -154,7 +164,7 @@ where
     let bounds: Vec<u32> = (0..=shards)
         .map(|s| (u64::from(s) * u64::from(n) / u64::from(shards)) as u32)
         .collect();
-    let mut parts = partition(net, &bounds);
+    let (mut parts, mut master) = partition(net, &bounds);
 
     let mut timing = ShardTiming {
         shards,
@@ -235,6 +245,7 @@ where
                     return Err(timing);
                 }
             }
+            collect_trace(&mut parts, master.as_deref_mut());
             route_outboxes(&mut parts, &topo, &bounds);
         } else {
             // ---- zero lookahead: step the globally earliest event ----
@@ -246,7 +257,8 @@ where
             sh.busy_nanos += nanos;
             timing.critical_path_nanos += nanos;
             cum += 1;
-            if sh.sim.stop_requested() {
+            collect_trace(&mut parts, master.as_deref_mut());
+            if parts[i_min].sim.stop_requested() {
                 // Exact: this was the globally next event and nothing else
                 // ran after it — precisely the sequential stop state.
                 break RunOutcome::Stopped;
@@ -256,7 +268,7 @@ where
     };
 
     timing.busy_nanos = parts.iter().map(|sh| sh.busy_nanos).collect();
-    Ok(merge(parts, outcome, cum, requested, timing))
+    Ok(merge(parts, outcome, cum, requested, timing, master))
 }
 
 /// Runs one shard up to (exclusive) the window horizon, bounded by the time
@@ -301,18 +313,45 @@ fn route_outboxes<P: Protocol>(parts: &mut [Shard<P>], topo: &Topology, bounds: 
             moved.append(outbox);
         }
     }
-    for (at, key, edge, msg) in moved {
+    for (at, key, edge, size, msg) in moved {
         let dst = topo.edge(edge_id_from_raw(edge)).dst.index() as u32;
         let dst_shard = shard_of(dst, bounds);
         parts[dst_shard]
             .sim
-            .prime_keyed(at, key, NetEvent::Deliver { edge, msg });
+            .prime_keyed(at, key, NetEvent::Deliver { edge, size, msg });
     }
 }
 
+/// Drains every shard's window-local trace buffer and merges the records
+/// into the master recorder in `(time, key, sub)` order — the order the
+/// sequential run would have produced them in. A no-op when recording is
+/// disabled.
+///
+/// The merge is exact because this runs at a window barrier: every record
+/// a shard will ever emit at a time inside the finished window has already
+/// been emitted (cross-shard arrivals land at least one lookahead later).
+fn collect_trace<P: Protocol>(parts: &mut [Shard<P>], master: Option<&mut RunRecorder>) {
+    let Some(master) = master else { return };
+    let chunks: Vec<_> = parts
+        .iter_mut()
+        .map(|sh| {
+            sh.sim
+                .world_mut()
+                .rec
+                .as_deref_mut()
+                .map(RunRecorder::drain)
+                .unwrap_or_default()
+        })
+        .collect();
+    merge_chunks(chunks, |rec| master.absorb_merged(rec));
+}
+
 /// Splits a full network into per-shard partitions, each primed with its
-/// own nodes' start events and crash schedule.
-fn partition<P>(net: Network<P>, bounds: &[u32]) -> Vec<Shard<P>>
+/// own nodes' start events and crash schedule. Returns the shards plus the
+/// master recorder (if recording is enabled); each shard gets an unbounded
+/// window-local buffer that [`collect_trace`] merges back into the master
+/// at every barrier.
+fn partition<P>(net: Network<P>, bounds: &[u32]) -> (Vec<Shard<P>>, Option<Box<RunRecorder>>)
 where
     P: Protocol + Clone,
 {
@@ -331,7 +370,7 @@ where
         messages_delivered,
         ticks,
         payload_bytes,
-        trace: _,
+        rec: master,
         faults,
         adversary: _,
         shards: requested,
@@ -406,7 +445,7 @@ where
             messages_delivered: delivered,
             ticks,
             payload_bytes,
-            trace: None,
+            rec: master.as_ref().map(|m| Box::new(m.window_buffer())),
             faults: shard_faults,
             adversary: None,
             shards: requested,
@@ -451,7 +490,7 @@ where
             busy_nanos: 0,
         });
     }
-    parts
+    (parts, master)
 }
 
 /// Reassembles the partitions into one network plus the run report, the
@@ -462,6 +501,7 @@ fn merge<P: Protocol>(
     events_processed: u64,
     requested_shards: u32,
     timing: ShardTiming,
+    master: Option<Box<RunRecorder>>,
 ) -> (NetworkReport, Network<P>) {
     let end_time = parts
         .iter()
@@ -535,7 +575,7 @@ fn merge<P: Protocol>(
         messages_delivered,
         ticks,
         payload_bytes,
-        trace: None,
+        rec: master,
         faults,
         adversary: None,
         shards: requested_shards,
@@ -558,6 +598,8 @@ fn merge<P: Protocol>(
         faults: net.faults.stats,
         adversary: AdversaryStats::default(),
         counters: std::mem::take(&mut net.counters),
+        trace_records: net.rec.as_ref().map_or(0, |r| r.seen()),
+        trace_dropped: net.rec.as_ref().map_or(0, |r| r.dropped()),
     };
     (report, net)
 }
@@ -743,6 +785,75 @@ mod tests {
         let (par_report, _) = make(4).run_sharded(RunLimits::unbounded());
         assert_eq!(seq_report, par_report);
         assert!(par_report.outcome.is_stopped());
+    }
+
+    /// Traced sharded runs no longer delegate: per-shard window buffers
+    /// merged at barriers must reproduce the sequential record stream
+    /// exactly — same records, same `(time, key, sub)` stamps, same
+    /// derived histograms.
+    #[test]
+    fn traced_runs_match_sequential_record_for_record() {
+        use abe_telemetry::Recording;
+        let make = || {
+            relay_builder(24, 11)
+                .delay(Uniform::new(0.5, 1.5).unwrap())
+                .record(Recording::full().histograms(true))
+        };
+        let (seq_report, seq_net) = make()
+            .build(relay_factory)
+            .unwrap()
+            .run(RunLimits::unbounded());
+        assert!(seq_report.trace_records > 0);
+        for shards in [2, 3, 8] {
+            let (par_report, par_net) = make()
+                .shards(shards)
+                .build(relay_factory)
+                .unwrap()
+                .run_sharded(RunLimits::unbounded());
+            assert_eq!(seq_report, par_report, "shards = {shards}");
+            assert_eq!(par_report.trace_records, seq_report.trace_records);
+            let seq_recs: Vec<_> = seq_net.trace().collect();
+            let par_recs: Vec<_> = par_net.trace().collect();
+            assert_eq!(seq_recs, par_recs, "shards = {shards}");
+            assert_eq!(
+                seq_net.telemetry().unwrap().histograms().unwrap().to_json(),
+                par_net.telemetry().unwrap().histograms().unwrap().to_json(),
+                "shards = {shards}"
+            );
+            // Recording must not force the sequential fallback.
+            let timing = par_net.shard_timing().expect("traced run still shards");
+            assert!(!timing.fell_back, "shards = {shards}");
+        }
+    }
+
+    /// Same equivalence through the zero-lookahead single-step path and
+    /// with faults injecting crash/drop records.
+    #[test]
+    fn traced_faulty_zero_lookahead_runs_match_sequential() {
+        use abe_telemetry::Recording;
+        let make = || {
+            relay_builder(16, 5)
+                .delay(Exponential::from_mean(1.0).unwrap())
+                .fault(
+                    FaultPlan::new()
+                        .crash_recover(2, 1.0, 4.0)
+                        .drop(EdgeSelector::All, 0.1),
+                )
+                .record(Recording::full())
+        };
+        let (seq_report, seq_net) = make()
+            .build(relay_factory)
+            .unwrap()
+            .run(RunLimits::unbounded());
+        let (par_report, par_net) = make()
+            .shards(4)
+            .build(relay_factory)
+            .unwrap()
+            .run_sharded(RunLimits::unbounded());
+        assert_eq!(seq_report, par_report);
+        let seq_recs: Vec<_> = seq_net.trace().collect();
+        let par_recs: Vec<_> = par_net.trace().collect();
+        assert_eq!(seq_recs, par_recs);
     }
 
     #[test]

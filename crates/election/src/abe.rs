@@ -164,6 +164,7 @@ impl Protocol for AbeElection {
         self.state = ElectionState::Active;
         self.activations += 1;
         ctx.count(counters::ACTIVATIONS, 1);
+        ctx.note_state("active");
         ctx.send(OutPort(0), 1);
     }
 
@@ -177,6 +178,7 @@ impl Protocol for AbeElection {
             ElectionState::Idle => {
                 self.state = ElectionState::Passive;
                 ctx.count(counters::KNOCKOUTS, 1);
+                ctx.note_state("passive");
                 ctx.send(OutPort(0), self.d + 1);
             }
             ElectionState::Passive => {
@@ -187,12 +189,15 @@ impl Protocol for AbeElection {
                 if hop == self.n {
                     self.state = ElectionState::Leader;
                     ctx.count(counters::ELECTED, 1);
+                    ctx.note_state("leader");
+                    ctx.decide(1);
                     // The election has terminated; stop the simulation so
                     // the harness can read off time and message counts.
                     ctx.stop_network();
                 } else {
                     self.state = ElectionState::Idle;
                     ctx.count(counters::PURGES, 1);
+                    ctx.note_state("idle");
                 }
                 // The message is purged in both cases: nothing is sent.
             }

@@ -11,7 +11,7 @@ use abe_core::adversary::AdversaryPlan;
 use abe_core::clock::ClockSpec;
 use abe_core::delay::{Exponential, SharedDelay};
 use abe_core::fault::{FaultPlan, OutcomeClass};
-use abe_core::{NetworkBuilder, NetworkReport, Topology};
+use abe_core::{NetworkBuilder, NetworkReport, Recording, RunRecorder, Topology};
 use abe_sim::{RunLimits, SeedStream};
 use rand::RngExt;
 
@@ -64,6 +64,10 @@ pub struct RingConfig {
     /// sequential). Any value produces an identical [`NetworkReport`];
     /// see [`abe_core::shard`].
     pub shards: u32,
+    /// Optional telemetry recording budget (defaults to `None`: no
+    /// recording). Recording never perturbs the run; the captured
+    /// recorder lands on [`ElectionOutcome::telemetry`].
+    pub record: Option<Recording>,
 }
 
 impl RingConfig {
@@ -87,6 +91,7 @@ impl RingConfig {
             fault: FaultPlan::new(),
             adversary: AdversaryPlan::none(),
             shards: 1,
+            record: None,
         }
     }
 
@@ -165,20 +170,31 @@ impl RingConfig {
         self
     }
 
+    /// Enables telemetry recording for the run (see
+    /// [`abe_core::Recording`]).
+    pub fn record(mut self, record: Recording) -> Self {
+        self.record = Some(record);
+        self
+    }
+
     fn builder(&self) -> NetworkBuilder {
         let topo = match self.kind {
             RingKind::Unidirectional => Topology::unidirectional_ring(self.n),
             RingKind::Bidirectional => Topology::bidirectional_ring(self.n),
         }
         .expect("n >= 1 was validated");
-        NetworkBuilder::new(topo)
+        let builder = NetworkBuilder::new(topo)
             .delay_shared(Arc::clone(&self.delay))
             .clocks(self.clocks)
             .fifo(self.fifo)
             .seed(self.seed)
             .fault(self.fault.clone())
             .adversary(self.adversary.clone())
-            .shards(self.shards)
+            .shards(self.shards);
+        match &self.record {
+            Some(r) => builder.record(r.clone()),
+            None => builder,
+        }
     }
 
     fn limits(&self) -> RunLimits {
@@ -219,6 +235,9 @@ pub struct ElectionOutcome {
     pub ticks: u64,
     /// The full network report (counters etc.).
     pub report: NetworkReport,
+    /// Captured telemetry, when [`RingConfig::record`] enabled recording:
+    /// retained trace records, seen/dropped counts, optional histograms.
+    pub telemetry: Option<Box<RunRecorder>>,
 }
 
 impl ElectionOutcome {
@@ -237,7 +256,11 @@ impl ElectionOutcome {
         }
     }
 
-    fn from_report(report: NetworkReport, leaders: usize) -> Self {
+    fn from_report(
+        report: NetworkReport,
+        leaders: usize,
+        telemetry: Option<Box<RunRecorder>>,
+    ) -> Self {
         Self {
             terminated: report.outcome.is_stopped(),
             leaders,
@@ -245,6 +268,7 @@ impl ElectionOutcome {
             time: report.end_time.as_secs(),
             ticks: report.ticks,
             report,
+            telemetry,
         }
     }
 }
@@ -259,12 +283,13 @@ pub fn run_abe(cfg: &RingConfig, a0: f64) -> ElectionOutcome {
         .builder()
         .build(|_| AbeElection::new(cfg.n, a0).expect("a0 validated by caller"))
         .expect("ring configuration is structurally valid");
-    let (report, net) = execute(cfg, net);
+    let (report, mut net) = execute(cfg, net);
     let leaders = net
         .protocols()
         .filter(|p| p.state() == ElectionState::Leader)
         .count();
-    ElectionOutcome::from_report(report, leaders)
+    let telemetry = net.take_telemetry();
+    ElectionOutcome::from_report(report, leaders, telemetry)
 }
 
 /// Runs the paper's §3 algorithm with `A0 = a / n²`, the calibration under
@@ -279,12 +304,13 @@ pub fn run_abe_calibrated(cfg: &RingConfig, a: f64) -> ElectionOutcome {
         .builder()
         .build(|_| AbeElection::calibrated(cfg.n, a).expect("a validated by caller"))
         .expect("ring configuration is structurally valid");
-    let (report, net) = execute(cfg, net);
+    let (report, mut net) = execute(cfg, net);
     let leaders = net
         .protocols()
         .filter(|p| p.state() == ElectionState::Leader)
         .count();
-    ElectionOutcome::from_report(report, leaders)
+    let telemetry = net.take_telemetry();
+    ElectionOutcome::from_report(report, leaders, telemetry)
 }
 
 /// Runs the fixed-activation ablation with constant probability `a0`.
@@ -297,12 +323,13 @@ pub fn run_fixed(cfg: &RingConfig, a0: f64) -> ElectionOutcome {
         .builder()
         .build(|_| FixedActivation::new(cfg.n, a0).expect("a0 validated by caller"))
         .expect("ring configuration is structurally valid");
-    let (report, net) = execute(cfg, net);
+    let (report, mut net) = execute(cfg, net);
     let leaders = net
         .protocols()
         .filter(|p| p.state() == ElectionState::Leader)
         .count();
-    ElectionOutcome::from_report(report, leaders)
+    let telemetry = net.take_telemetry();
+    ElectionOutcome::from_report(report, leaders, telemetry)
 }
 
 /// Runs Itai–Rodeh (anonymous asynchronous baseline).
@@ -311,9 +338,10 @@ pub fn run_itai_rodeh(cfg: &RingConfig) -> ElectionOutcome {
         .builder()
         .build(|_| ItaiRodeh::new(cfg.n).expect("n >= 1 was validated"))
         .expect("ring configuration is structurally valid");
-    let (report, net) = execute(cfg, net);
+    let (report, mut net) = execute(cfg, net);
     let leaders = net.protocols().filter(|p| p.is_leader()).count();
-    ElectionOutcome::from_report(report, leaders)
+    let telemetry = net.take_telemetry();
+    ElectionOutcome::from_report(report, leaders, telemetry)
 }
 
 /// Runs Chang–Roberts with a random unique-identity assignment derived
@@ -324,9 +352,10 @@ pub fn run_chang_roberts(cfg: &RingConfig) -> ElectionOutcome {
         .builder()
         .build(|i| ChangRoberts::new(ids[i]))
         .expect("ring configuration is structurally valid");
-    let (report, net) = execute(cfg, net);
+    let (report, mut net) = execute(cfg, net);
     let leaders = net.protocols().filter(|p| p.is_leader()).count();
-    ElectionOutcome::from_report(report, leaders)
+    let telemetry = net.take_telemetry();
+    ElectionOutcome::from_report(report, leaders, telemetry)
 }
 
 /// Runs Peterson's algorithm with a random unique-identity assignment
@@ -337,9 +366,10 @@ pub fn run_peterson(cfg: &RingConfig) -> ElectionOutcome {
         .builder()
         .build(|i| Peterson::new(ids[i]))
         .expect("ring configuration is structurally valid");
-    let (report, net) = execute(cfg, net);
+    let (report, mut net) = execute(cfg, net);
     let leaders = net.protocols().filter(|p| p.is_leader()).count();
-    ElectionOutcome::from_report(report, leaders)
+    let telemetry = net.take_telemetry();
+    ElectionOutcome::from_report(report, leaders, telemetry)
 }
 
 /// A uniformly random permutation of `1..=n` (Fisher–Yates) used as the

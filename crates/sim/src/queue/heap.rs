@@ -149,13 +149,20 @@ impl<E> HeapQueue<E> {
     /// Removes and returns the earliest live event: `O(log n)`, plus
     /// tombstone skimming.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(time, _key, event)| (time, event))
+    }
+
+    /// Keyed variant of [`pop`](Self::pop), mirroring
+    /// `EventQueue::pop_keyed` so the differential oracle can check the
+    /// returned keys too.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         while let Some(entry) = self.heap.pop() {
             if self.pending.remove(&entry.seq) {
                 self.stats.popped += 1;
                 // Popping may expose a stale entry that was buried below
                 // the (live) top; skim so the invariant holds for peeks.
                 self.skim_stale();
-                return Some((entry.time, entry.event));
+                return Some((entry.time, entry.key, entry.event));
             }
             // Stale (cancelled) entry: drop and continue (only reachable
             // if the top-is-live invariant was externally violated).

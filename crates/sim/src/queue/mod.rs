@@ -732,6 +732,14 @@ impl<E> EventQueue<E> {
     /// `O(1)` plus the amortised cost of keeping the front populated
     /// (bucket sorts and far-tier migration).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(time, _key, event)| (time, event))
+    }
+
+    /// Like [`pop`](Self::pop), but also returns the ordering key the
+    /// event was scheduled under. The trace layer stamps records with
+    /// this key, which encodes event identity and therefore matches
+    /// between sequential and sharded executions.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         // Front tops are live and the front holds the global minimum, so
         // the pop is a two-way comparison on inline keys (no arena reads).
         let take_overlay = match (self.dispatch.last(), self.overlay.peek()) {
@@ -740,20 +748,20 @@ impl<E> EventQueue<E> {
             (None, Some(_)) => true,
             (Some(d), Some(o)) => (o.time, o.key, o.seq) < (d.time, d.key, d.seq),
         };
-        let slot_id = if take_overlay {
-            self.overlay.pop().expect("peeked entry exists").slot
+        let entry = if take_overlay {
+            self.overlay.pop().expect("peeked entry exists")
         } else {
-            self.dispatch.pop().expect("checked non-empty").slot
+            self.dispatch.pop().expect("checked non-empty")
         };
-        let slot = &mut self.slots[slot_id as usize];
+        let slot = &mut self.slots[entry.slot as usize];
         let time = slot.time;
         let event = slot.event.take().expect("live slot holds its event");
-        self.release(slot_id);
+        self.release(entry.slot);
         self.front_live -= 1;
         self.live -= 1;
         self.stats.popped += 1;
         self.maintain_front();
-        Some((time, event))
+        Some((time, entry.key, event))
     }
 
     /// Time of the earliest live event without removing it. `O(1)`.

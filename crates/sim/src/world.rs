@@ -49,6 +49,7 @@ pub trait World {
 /// event dispatch.
 pub struct StepCtx<'a, E> {
     now: SimTime,
+    key: u64,
     queue: &'a mut EventQueue<E>,
     stop_requested: &'a mut bool,
 }
@@ -57,6 +58,14 @@ impl<'a, E> StepCtx<'a, E> {
     /// The current virtual time (the timestamp of the event being handled).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The ordering key the event being handled was scheduled under (0
+    /// for unkeyed events). Worlds that encode identity into keys via
+    /// [`Self::schedule_at_keyed`] can decode it here — the trace layer
+    /// uses this to stamp records independently of scheduling order.
+    pub fn key(&self) -> u64 {
+        self.key
     }
 
     /// Schedules an event at an absolute time.
@@ -308,12 +317,13 @@ impl<W: World> Simulation<W> {
     /// Returns the timestamp of the processed event, or `None` when the
     /// queue is empty.
     pub fn step(&mut self) -> Option<SimTime> {
-        let (time, event) = self.queue.pop()?;
+        let (time, key, event) = self.queue.pop_keyed()?;
         debug_assert!(time >= self.now, "event queue returned time travel");
         self.now = time;
         self.events_processed += 1;
         let mut ctx = StepCtx {
             now: time,
+            key,
             queue: &mut self.queue,
             stop_requested: &mut self.stop_requested,
         };

@@ -26,7 +26,7 @@ use abe_core::adversary::AdversaryPlan;
 use abe_core::clock::ClockSpec;
 use abe_core::delay::{Exponential, SharedDelay};
 use abe_core::fault::{FaultPlan, OutcomeClass};
-use abe_core::{NetworkBuilder, NetworkReport, Topology};
+use abe_core::{NetworkBuilder, NetworkReport, Recording, RunRecorder, Topology};
 use abe_sim::{RunLimits, SeedStream};
 
 use crate::digest::{Digests, DEFAULT_FANOUT, DEFAULT_LEAF_WIDTH};
@@ -96,6 +96,10 @@ pub struct SyncConfig {
     pub adversary: AdversaryPlan,
     /// Shard count for deterministic parallel execution (defaults to 1).
     pub shards: u32,
+    /// Optional telemetry recording budget (defaults to `None`: no
+    /// recording). Recording never perturbs the run; the captured
+    /// recorder lands on [`SyncOutcome::telemetry`].
+    pub record: Option<Recording>,
 }
 
 impl SyncConfig {
@@ -124,6 +128,7 @@ impl SyncConfig {
             fault: FaultPlan::new(),
             adversary: AdversaryPlan::none(),
             shards: 1,
+            record: None,
         }
     }
 
@@ -219,6 +224,13 @@ impl SyncConfig {
         self
     }
 
+    /// Enables telemetry recording for the run (see
+    /// [`abe_core::Recording`]).
+    pub fn record(mut self, record: Recording) -> Self {
+        self.record = Some(record);
+        self
+    }
+
     /// The digest-tree shape of this configuration.
     pub fn digests(&self) -> Digests {
         Digests::with_shape(self.key_space, self.fanout, self.leaf_width)
@@ -264,14 +276,18 @@ impl SyncConfig {
 
     fn builder(&self) -> NetworkBuilder {
         let topo = Topology::complete(self.n).expect("n >= 1 was validated");
-        NetworkBuilder::new(topo)
+        let builder = NetworkBuilder::new(topo)
             .delay_shared(Arc::clone(&self.delay))
             .clocks(self.clocks)
             .fifo(self.fifo)
             .seed(self.seed)
             .fault(self.fault.clone())
             .adversary(self.adversary.clone())
-            .shards(self.shards)
+            .shards(self.shards);
+        match &self.record {
+            Some(r) => builder.record(r.clone()),
+            None => builder,
+        }
     }
 
     fn limits(&self) -> RunLimits {
@@ -337,6 +353,8 @@ pub struct SyncOutcome {
     pub time: f64,
     /// The full network report (payload bytes, counters, faults).
     pub report: NetworkReport,
+    /// Captured telemetry, when [`SyncConfig::record`] enabled recording.
+    pub telemetry: Option<Box<RunRecorder>>,
 }
 
 impl SyncOutcome {
@@ -453,11 +471,12 @@ where
     P: abe_core::Protocol + Clone + Send,
     P::Message: Send,
 {
-    let (report, net) = if cfg.shards > 1 {
+    let (report, mut net) = if cfg.shards > 1 {
         net.run_sharded(cfg.limits())
     } else {
         net.run(cfg.limits())
     };
+    let telemetry = net.take_telemetry();
     let (states, rounds): (Vec<_>, Vec<_>) = net
         .into_protocols()
         .into_iter()
@@ -476,6 +495,7 @@ where
         rounds,
         time,
         report,
+        telemetry,
     }
 }
 

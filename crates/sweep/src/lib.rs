@@ -51,7 +51,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use abe_consensus::{BrbOutcome, ConsensusOutcome};
-use abe_core::NetworkReport;
+use abe_core::{NetworkReport, Recording};
 use abe_election::ElectionOutcome;
 use abe_sim::SeedStream;
 use abe_statesync::SyncOutcome;
@@ -177,6 +177,7 @@ pub struct SweepSpec {
     base_seed: u64,
     filter: Option<CoordsFilter>,
     seeds_for: Option<SeedsOverride>,
+    telemetry: Option<Recording>,
 }
 
 impl Default for SweepSpec {
@@ -192,6 +193,7 @@ impl fmt::Debug for SweepSpec {
             .field("seeds", &self.seeds)
             .field("base_seed", &self.base_seed)
             .field("filtered", &self.filter.is_some())
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -205,6 +207,7 @@ impl SweepSpec {
             base_seed: 0,
             filter: None,
             seeds_for: None,
+            telemetry: None,
         }
     }
 
@@ -268,6 +271,18 @@ impl SweepSpec {
         self
     }
 
+    /// Installs a per-cell telemetry budget: every expanded [`Cell`]
+    /// carries a clone of `recording`, and experiment runners that honour
+    /// it (via [`Cell::recording`]) record each run under that bounded
+    /// budget — typically `Recording::ring(0).histograms(true)` so cells
+    /// aggregate deterministic histograms without retaining per-event
+    /// records. Recording never perturbs runs, so every other byte of the
+    /// sweep's metric block is unchanged by this call.
+    pub fn telemetry(mut self, recording: Recording) -> Self {
+        self.telemetry = Some(recording);
+        self
+    }
+
     /// The configured axes.
     pub fn axes(&self) -> &[Axis] {
         &self.axes
@@ -315,6 +330,7 @@ impl SweepSpec {
                         coords: coord_values.clone(),
                         rep,
                         seed: seed_root.child_seed(&domain, rep),
+                        record: self.telemetry.clone(),
                     });
                 }
             }
@@ -344,6 +360,7 @@ pub struct Cell {
     coords: Vec<(&'static str, AxisValue)>,
     rep: u64,
     seed: u64,
+    record: Option<Recording>,
 }
 
 impl Cell {
@@ -401,6 +418,14 @@ impl Cell {
         self.seed
     }
 
+    /// The sweep's per-cell telemetry budget, when
+    /// [`SweepSpec::telemetry`] installed one. Experiment runners pass it
+    /// to their config's `record` knob and attach the resulting
+    /// histograms via [`CellMetrics::with_hist`].
+    pub fn recording(&self) -> Option<&Recording> {
+        self.record.as_ref()
+    }
+
     /// Human-readable grid coordinates, e.g. `n=8, delay=exp, rep=3`.
     pub fn label(&self) -> String {
         let mut parts: Vec<String> = self
@@ -426,6 +451,10 @@ impl Cell {
 pub struct CellMetrics {
     metrics: BTreeMap<&'static str, f64>,
     counters: BTreeMap<&'static str, u64>,
+    /// Rendered `abe/hist-v1` JSON document for this cell, when the sweep
+    /// recorded telemetry. `None` keeps the metric block byte-identical
+    /// to telemetry-free builds.
+    hist: Option<String>,
 }
 
 impl CellMetrics {
@@ -576,6 +605,20 @@ impl CellMetrics {
             .with_report(&outcome.report)
     }
 
+    /// Attaches the cell's aggregate telemetry histograms: a pre-rendered
+    /// `abe/hist-v1` JSON document (see `abe_telemetry::HistogramSink`).
+    /// Rendered into the metric block under the cell's `"hist"` key —
+    /// only when present, so telemetry-free sweeps stay byte-identical.
+    pub fn with_hist(mut self, hist_json: String) -> Self {
+        self.hist = Some(hist_json);
+        self
+    }
+
+    /// The attached histogram document, if any.
+    pub fn hist(&self) -> Option<&str> {
+        self.hist.as_deref()
+    }
+
     /// Reads one metric back.
     pub fn get(&self, name: &str) -> Option<f64> {
         self.metrics.get(name).copied()
@@ -687,8 +730,14 @@ impl SweepOutcome {
             .cells
             .iter()
             .map(|result| {
+                let hist = result
+                    .metrics
+                    .hist
+                    .as_ref()
+                    .map(|h| format!(",\"hist\":{h}"))
+                    .unwrap_or_default();
                 format!(
-                    "{{\"coords\":{},\"rep\":{},\"seed\":\"{}\",\"metrics\":{},\"counters\":{}}}",
+                    "{{\"coords\":{},\"rep\":{},\"seed\":\"{}\",\"metrics\":{},\"counters\":{}{hist}}}",
                     coords_json(&result.cell.coords),
                     result.cell.rep,
                     result.cell.seed,
@@ -1265,5 +1314,35 @@ mod tests {
     fn unknown_axis_lookup_panics() {
         let cells = SweepSpec::new().axis_u32("n", &[1]).expand();
         let _ = cells[0].u32("nope");
+    }
+
+    #[test]
+    fn telemetry_budget_reaches_every_cell() {
+        let budget = Recording::ring(0).histograms(true);
+        let cells = toy_spec().telemetry(budget.clone()).expand();
+        assert!(cells.iter().all(|c| c.recording() == Some(&budget)));
+        // Without a budget, cells carry none.
+        assert!(toy_spec().expand().iter().all(|c| c.recording().is_none()));
+    }
+
+    #[test]
+    fn hist_renders_only_when_attached() {
+        let spec = toy_spec().seeds(1);
+        let plain = run_sweep(&spec, 1, toy_run).unwrap().metrics_json();
+        assert!(!plain.contains("\"hist\""));
+
+        let with_hist = run_sweep(&spec, 1, |cell| {
+            toy_run(cell).with_hist(format!("{{\"cell\":{}}}", cell.index()))
+        })
+        .unwrap()
+        .metrics_json();
+        assert!(with_hist.contains(",\"hist\":{\"cell\":0}"));
+        // Everything before the hist keys is byte-identical: stripping the
+        // attachments recovers the telemetry-free document exactly.
+        let mut stripped = with_hist.clone();
+        for i in 0..spec.expand().len() {
+            stripped = stripped.replace(&format!(",\"hist\":{{\"cell\":{i}}}"), "");
+        }
+        assert_eq!(stripped, plain);
     }
 }

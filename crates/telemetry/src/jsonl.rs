@@ -1,0 +1,542 @@
+//! The `trace-v1` JSONL wire format: rendering and validation.
+//!
+//! A trace file is line-delimited JSON: a header object (schema name,
+//! record/drop counts, caller metadata) followed by one flat object per
+//! record. Rendering is **byte-deterministic**: field order is fixed,
+//! floats go through the shortest-roundtrip formatter, and `u64` values
+//! that can exceed 2⁵³ (the ordering key) are rendered as strings so
+//! the file survives double-precision JSON parsers. Two runs that
+//! produce the same trace stream therefore produce byte-identical
+//! files at any `--threads`/`--shards` setting.
+//!
+//! See `docs/TRACE_JSON.md` for the field-by-field schema.
+
+use std::fmt::Write as _;
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::sink::Recorder;
+
+/// The schema identifier in the header line.
+pub const SCHEMA: &str = "abe/trace-v1";
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the header line (no trailing newline). `meta` holds extra
+/// fields as `(name, raw JSON value)` pairs — encode strings with
+/// [`json_str`] first.
+pub fn render_header(records: u64, dropped: u64, meta: &[(&str, String)]) -> String {
+    let mut out = format!(
+        "{{\"schema\":{},\"records\":{records},\"dropped\":{dropped}",
+        json_str(SCHEMA)
+    );
+    for (name, value) in meta {
+        let _ = write!(out, ",{}:{}", json_str(name), value);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders one record line (no trailing newline).
+pub fn render_record(rec: &TraceRecord) -> String {
+    let mut out = format!(
+        "{{\"t\":{},\"key\":\"{}\",\"sub\":{},\"ev\":{}",
+        abe_stats::json_f64(rec.time.as_secs()),
+        rec.key,
+        rec.sub,
+        json_str(rec.event.name()),
+    );
+    match &rec.event {
+        TraceEvent::Start { node }
+        | TraceEvent::Tick { node }
+        | TraceEvent::Crash { node }
+        | TraceEvent::Recover { node } => {
+            let _ = write!(out, ",\"node\":{node}");
+        }
+        TraceEvent::StateChange { node, to } => {
+            let _ = write!(out, ",\"node\":{node},\"to\":{}", json_str(to));
+        }
+        TraceEvent::Decide { node, value } => {
+            let _ = write!(out, ",\"node\":{node},\"value\":{value}");
+        }
+        TraceEvent::Send {
+            edge,
+            src,
+            dst,
+            seq,
+            size,
+            delay,
+        } => {
+            let _ = write!(
+                out,
+                ",\"edge\":{edge},\"src\":{src},\"dst\":{dst},\"seq\":{seq},\"size\":{size},\
+                 \"delay\":{}",
+                abe_stats::json_f64(*delay)
+            );
+        }
+        TraceEvent::Deliver {
+            edge,
+            src,
+            dst,
+            seq,
+            size,
+            payload,
+        } => {
+            let _ = write!(
+                out,
+                ",\"edge\":{edge},\"src\":{src},\"dst\":{dst},\"seq\":{seq},\"size\":{size}"
+            );
+            if let Some(p) = payload {
+                let _ = write!(out, ",\"payload\":{}", json_str(p));
+            }
+        }
+        TraceEvent::DropCrash {
+            edge,
+            src,
+            dst,
+            seq,
+            size,
+        }
+        | TraceEvent::DropPartition {
+            edge,
+            src,
+            dst,
+            seq,
+            size,
+        }
+        | TraceEvent::DropRandom {
+            edge,
+            src,
+            dst,
+            seq,
+            size,
+        } => {
+            let _ = write!(
+                out,
+                ",\"edge\":{edge},\"src\":{src},\"dst\":{dst},\"seq\":{seq},\"size\":{size}"
+            );
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A [`Recorder`] that streams records into a `trace-v1` body (record
+/// lines only; prepend [`render_header`] when writing a file).
+#[derive(Debug, Clone, Default)]
+pub struct JsonlSink {
+    body: String,
+    records: u64,
+}
+
+impl JsonlSink {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record lines written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The accumulated record lines (each `\n`-terminated).
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+
+    /// Consumes the sink, returning the record lines.
+    pub fn into_body(self) -> String {
+        self.body
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.body.push_str(&render_record(rec));
+        self.body.push('\n');
+        self.records += 1;
+    }
+}
+
+/// Summary returned by a successful [`validate_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFileSummary {
+    /// Record lines counted (excludes the header).
+    pub records: u64,
+    /// The `"records"` count the header declared.
+    pub declared_records: u64,
+    /// The `"dropped"` count the header declared.
+    pub declared_dropped: u64,
+}
+
+/// Validates a complete `trace-v1` file (header + records) against the
+/// schema: JSON well-formedness of every line, required fields per event
+/// type, non-decreasing time, contiguous `sub` numbering within each
+/// `(t, key)` dispatch group, and header/record count agreement.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_trace(text: &str) -> Result<TraceFileSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace file")?;
+    let header = parse_flat_object(header).map_err(|e| format!("header: {e}"))?;
+    match header.get("schema") {
+        Some(JsonScalar::Str(s)) if s == SCHEMA => {}
+        other => return Err(format!("header schema must be {SCHEMA:?}, got {other:?}")),
+    }
+    let declared_records = header
+        .get_u64("records")
+        .ok_or("header missing \"records\"")?;
+    let declared_dropped = header
+        .get_u64("dropped")
+        .ok_or("header missing \"dropped\"")?;
+
+    let mut records = 0u64;
+    let mut prev_t = f64::NEG_INFINITY;
+    let mut prev_group: Option<(f64, u64, u64)> = None; // (t, key, sub)
+    for (lineno, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let t = obj
+            .get_f64("t")
+            .ok_or_else(|| format!("line {}: missing numeric \"t\"", lineno + 1))?;
+        let key = match obj.get("key") {
+            Some(JsonScalar::Str(s)) => s
+                .parse::<u64>()
+                .map_err(|_| format!("line {}: \"key\" is not a u64 string", lineno + 1))?,
+            _ => return Err(format!("line {}: missing string \"key\"", lineno + 1)),
+        };
+        let sub = obj
+            .get_u64("sub")
+            .ok_or_else(|| format!("line {}: missing numeric \"sub\"", lineno + 1))?;
+        let ev = match obj.get("ev") {
+            Some(JsonScalar::Str(s)) => s.clone(),
+            _ => return Err(format!("line {}: missing string \"ev\"", lineno + 1)),
+        };
+        if t < prev_t {
+            return Err(format!("line {}: time went backwards", lineno + 1));
+        }
+        prev_t = t;
+        // Records of one dispatch are contiguous with sub = 0, 1, 2, …
+        match prev_group {
+            Some((pt, pk, ps)) if pt == t && pk == key => {
+                if sub != ps + 1 {
+                    return Err(format!(
+                        "line {}: sub {} does not continue {} within its dispatch group",
+                        lineno + 1,
+                        sub,
+                        ps
+                    ));
+                }
+            }
+            _ => {
+                if sub != 0 {
+                    return Err(format!(
+                        "line {}: dispatch group must start at sub 0, got {sub}",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+        prev_group = Some((t, key, sub));
+
+        let require = |fields: &[&str]| -> Result<(), String> {
+            for f in fields {
+                if obj.get(f).is_none() {
+                    return Err(format!("line {}: {ev:?} record missing {f:?}", lineno + 1));
+                }
+            }
+            Ok(())
+        };
+        match ev.as_str() {
+            "start" | "tick" | "crash" | "recover" => require(&["node"])?,
+            "state_change" => require(&["node", "to"])?,
+            "decide" => require(&["node", "value"])?,
+            "send" => require(&["edge", "src", "dst", "seq", "size", "delay"])?,
+            "deliver" | "drop_crash" | "drop_partition" | "drop_random" => {
+                require(&["edge", "src", "dst", "seq", "size"])?
+            }
+            other => return Err(format!("line {}: unknown event {other:?}", lineno + 1)),
+        }
+        records += 1;
+    }
+    if records != declared_records {
+        return Err(format!(
+            "header declares {declared_records} records but file has {records}"
+        ));
+    }
+    Ok(TraceFileSummary {
+        records,
+        declared_records,
+        declared_dropped,
+    })
+}
+
+/// A scalar value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonScalar {
+    Str(String),
+    Num(f64),
+}
+
+#[derive(Debug, Default)]
+struct FlatObject(Vec<(String, JsonScalar)>);
+
+impl FlatObject {
+    fn get(&self, name: &str) -> Option<&JsonScalar> {
+        self.0.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    fn get_f64(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(JsonScalar::Num(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn get_u64(&self, name: &str) -> Option<u64> {
+        let v = self.get_f64(name)?;
+        (v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
+    }
+}
+
+/// Parses one flat JSON object (string keys; string or number values —
+/// all a `trace-v1` line ever contains).
+fn parse_flat_object(line: &str) -> Result<FlatObject, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut out = FlatObject::default();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => return Err(format!("expected string, got {other:?}")),
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(s),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => s.push('"'),
+                    Some((_, '\\')) => s.push('\\'),
+                    Some((_, '/')) => s.push('/'),
+                    Some((_, 'n')) => s.push('\n'),
+                    Some((_, 'r')) => s.push('\r'),
+                    Some((_, 't')) => s.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = chars
+                                .next()
+                                .and_then(|(_, c)| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) => s.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("expected '{'".into()),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(format!("expected ':' after key {key:?}")),
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some((_, '"')) => JsonScalar::Str(parse_string(&mut chars)?),
+            Some(&(start, _)) => {
+                let mut end = start;
+                while let Some(&(i, c)) = chars.peek() {
+                    if c == ',' || c == '}' || c.is_ascii_whitespace() {
+                        break;
+                    }
+                    end = i + c.len_utf8();
+                    chars.next();
+                }
+                let text = &line[start..end];
+                JsonScalar::Num(
+                    text.parse::<f64>()
+                        .map_err(|_| format!("bad number {text:?}"))?,
+                )
+            }
+            None => return Err("unexpected end of object".into()),
+        };
+        out.0.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abe_sim::SimTime;
+
+    fn rec(t: f64, key: u64, sub: u32, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_secs(t),
+            key,
+            sub,
+            event,
+        }
+    }
+
+    fn sample_file() -> String {
+        let mut sink = JsonlSink::new();
+        sink.record(&rec(0.0, 1, 0, TraceEvent::Start { node: 0 }));
+        sink.record(&rec(
+            0.5,
+            100,
+            0,
+            TraceEvent::Deliver {
+                edge: 0,
+                src: 0,
+                dst: 1,
+                seq: 0,
+                size: 16,
+                payload: Some("\"msg\"".into()),
+            },
+        ));
+        sink.record(&rec(
+            0.5,
+            100,
+            1,
+            TraceEvent::Send {
+                edge: 1,
+                src: 1,
+                dst: 2,
+                seq: 0,
+                size: 16,
+                delay: 0.25,
+            },
+        ));
+        format!(
+            "{}\n{}",
+            render_header(sink.records(), 0, &[("experiment", json_str("e1"))]),
+            sink.body()
+        )
+    }
+
+    #[test]
+    fn rendered_traces_validate() {
+        let file = sample_file();
+        let summary = validate_trace(&file).unwrap();
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.declared_dropped, 0);
+    }
+
+    #[test]
+    fn header_line_is_first_and_self_describing() {
+        let file = sample_file();
+        let first = file.lines().next().unwrap();
+        assert!(first.starts_with("{\"schema\":\"abe/trace-v1\""));
+        assert!(first.contains("\"experiment\":\"e1\""));
+    }
+
+    #[test]
+    fn keys_render_as_strings() {
+        let line = render_record(&rec(1.0, u64::MAX, 0, TraceEvent::Tick { node: 7 }));
+        assert!(line.contains(&format!("\"key\":\"{}\"", u64::MAX)));
+        assert!(validate_trace(&format!("{}\n{line}", render_header(1, 0, &[]))).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_time_regression() {
+        let file = format!(
+            "{}\n{}\n{}",
+            render_header(2, 0, &[]),
+            render_record(&rec(2.0, 1, 0, TraceEvent::Tick { node: 0 })),
+            render_record(&rec(1.0, 2, 0, TraceEvent::Tick { node: 0 })),
+        );
+        let err = validate_trace(&file).unwrap_err();
+        assert!(err.contains("time went backwards"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_broken_sub_numbering() {
+        let file = format!(
+            "{}\n{}\n{}",
+            render_header(2, 0, &[]),
+            render_record(&rec(1.0, 5, 0, TraceEvent::Tick { node: 0 })),
+            render_record(&rec(1.0, 5, 2, TraceEvent::Tick { node: 0 })),
+        );
+        let err = validate_trace(&file).unwrap_err();
+        assert!(err.contains("does not continue"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_count_mismatch_and_bad_json() {
+        let file = format!(
+            "{}\n{}",
+            render_header(5, 0, &[]),
+            render_record(&rec(1.0, 1, 0, TraceEvent::Tick { node: 0 })),
+        );
+        assert!(validate_trace(&file).unwrap_err().contains("declares 5"));
+        let garbage = format!("{}\nnot json", render_header(1, 0, &[]));
+        assert!(validate_trace(&garbage).is_err());
+        assert!(validate_trace("").is_err());
+    }
+
+    #[test]
+    fn json_str_escapes_control_characters() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_str("a\u{1}b"), "\"a\\u0001b\"");
+    }
+}

@@ -31,6 +31,7 @@
 //! | [`statesync`] | `abe-statesync` | anti-entropy state sync: versioned stores, Merkle-style digest trees, convergence-classified runners |
 //! | [`sync`] | `abe-sync` | graph synchroniser (Theorem 1 floor), ABD synchroniser + violation counting, synchronous Itai–Rodeh |
 //! | [`stats`] | `abe-stats` | online moments, complexity-class fitting, tables |
+//! | [`telemetry`] | `abe-telemetry` | typed trace events, deterministic histograms, `trace-v1` JSONL, trace analysis |
 //! | [`wave`] | `abe-wave` | flooding broadcast and echo/PIF convergecast waves |
 //! | [`live`] | `abe-live` | thread-per-node live runtime (crossbeam channels, wall-clock delays) |
 //! | [`scenario`] | `abe-scenario` | `.abes` scenario language: parser, compiler, golden-campaign runner, fuzz generator |
@@ -67,4 +68,5 @@ pub use abe_sim as sim;
 pub use abe_statesync as statesync;
 pub use abe_stats as stats;
 pub use abe_sync as sync;
+pub use abe_telemetry as telemetry;
 pub use abe_wave as wave;
